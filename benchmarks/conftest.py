@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one experiment of the paper (see DESIGN.md's
+experiment index) through pytest-benchmark.  Experiments are full simulation
+sweeps, so they are executed once per benchmark (``pedantic`` mode) rather than
+being re-run until statistically stable; the timing is still reported, and the
+regenerated table plus its PASS/FAIL checks are printed to stdout (visible with
+``pytest benchmarks/ --benchmark-only -s`` and recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the benchmarks from a source checkout without installation.
+SOURCE_ROOT = Path(__file__).resolve().parent.parent / "src"
+if str(SOURCE_ROOT) not in sys.path:
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark):
+    """Run an experiment function once under the benchmark, print its report."""
+
+    def runner(experiment_function, *args, **kwargs):
+        output = benchmark.pedantic(
+            experiment_function, args=args, kwargs=kwargs, iterations=1, rounds=1
+        )
+        print()
+        print(output.render())
+        assert output.all_checks_pass(), (
+            f"{output.experiment_id} checks failed: "
+            + "; ".join(label for label, holds in output.checks if not holds)
+        )
+        return output
+
+    return runner

@@ -1,0 +1,14 @@
+"""E11 — Theorem 12 under stress.
+
+Runs the Figure 2 algorithm on hundreds of random and adversarial (vector,
+schedule) pairs and reports the maximum number of distinct decided values,
+which must never exceed k.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_agreement_stress
+
+
+def test_e11_agreement_stress(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_agreement_stress, runs=100)

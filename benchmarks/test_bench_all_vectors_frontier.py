@@ -1,0 +1,15 @@
+"""E5 — Theorems 8 and 9: the legality frontier of the all-vectors condition.
+
+For a small system, verifies empirically (explicit recognizer on one side,
+exhaustive recognizer search on the other) that the condition containing every
+input vector is (x, l)-legal exactly when l > x — the condition-based
+rephrasing of the asynchronous l-set agreement impossibility.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_all_vectors_frontier
+
+
+def test_e5_all_vectors_frontier(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_all_vectors_frontier, n=3, m=3)

@@ -1,0 +1,15 @@
+"""E12 — Section 4: asynchronous l-set agreement from an (x, l)-legal condition.
+
+Runs the asynchronous shared-memory algorithm with x crashed processes under
+random interleavings: in-condition inputs must terminate with at most l
+distinct decisions; outside the condition the run may block (which the table
+reports) but never violates validity or l-agreement among deciders.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_async_solvability
+
+
+def test_e12_async_solvability(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_async_solvability)

@@ -1,0 +1,15 @@
+"""E8 — the "dividing power" of conditions (Section 1.2).
+
+Compares the condition-based algorithm against the classical FloodMin baseline
+on in-condition inputs across the whole hierarchy of degrees d, reporting the
+round counts, the speed-up and the fraction of the input space each condition
+covers (the size / decision-time trade-off of Section 5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_baseline_comparison
+
+
+def test_e8_baseline_comparison(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_baseline_comparison)

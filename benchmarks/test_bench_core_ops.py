@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the library's hot operations.
+
+These are not paper artifacts; they measure the cost of the primitives every
+experiment is built on (condition membership, view decoding, counting, one
+synchronous execution) so that regressions in the substrate are visible in the
+benchmark history.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.algorithms.condition_kset import ConditionBasedKSetAgreement
+from repro.core.conditions import MaxLegalCondition
+from repro.core.counting import max_condition_size
+from repro.core.vectors import InputVector, View
+from repro.core.values import BOTTOM
+from repro.sync.adversary import staggered_schedule
+from repro.sync.runtime import SynchronousSystem
+from repro.workloads.vectors import vector_in_max_condition
+
+
+N, M, T, D, ELL, K = 20, 30, 9, 4, 2, 3
+CONDITION = MaxLegalCondition(N, M, T - D, ELL)
+RNG = Random(5)
+VECTOR = vector_in_max_condition(N, M, T - D, ELL, RNG)
+VIEW = View(
+    [BOTTOM if index < T - D else value for index, value in enumerate(VECTOR.entries)]
+)
+
+
+def test_bench_condition_membership(benchmark):
+    result = benchmark(CONDITION.contains, VECTOR)
+    assert result is True
+
+
+def test_bench_view_compatibility(benchmark):
+    result = benchmark(CONDITION.is_compatible, VIEW)
+    assert result is True
+
+
+def test_bench_view_decode(benchmark):
+    decoded = benchmark(CONDITION.decode, VIEW)
+    assert 1 <= len(decoded) <= ELL
+
+
+def test_bench_counting_formula(benchmark):
+    size = benchmark(max_condition_size, 40, 25, 12, 3)
+    assert size > 0
+
+
+def test_bench_one_synchronous_execution(benchmark):
+    algorithm = ConditionBasedKSetAgreement(condition=CONDITION, t=T, d=D, k=K)
+    system = SynchronousSystem(N, T, algorithm)
+    schedule = staggered_schedule(N, T, per_round=K)
+
+    def run_once():
+        return system.run(VECTOR, schedule)
+
+    result = benchmark(run_once)
+    assert result.all_correct_decided()
+
+
+def test_bench_input_vector_construction(benchmark):
+    entries = [RNG.randint(1, M) for _ in range(200)]
+
+    def build():
+        vector = InputVector(entries)
+        vector.val()
+        return vector
+
+    vector = benchmark(build)
+    assert len(vector) == 200

@@ -1,0 +1,14 @@
+"""E4 — Theorem 13 (Appendix A): the size NB(x, l) of the maximal max_l condition.
+
+Evaluates the re-derived closed form, cross-checks it against brute-force
+enumeration and verifies the monotonicity along the two hierarchy axes of
+Section 5 (the condition-size / decision-time trade-off).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_counting_theorem13
+
+
+def test_e4_counting_theorem13(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_counting_theorem13)

@@ -1,0 +1,13 @@
+"""E3 — Theorem 3: the size NB(x, 1) of the maximal consensus condition.
+
+Evaluates the closed-form formula and cross-checks it against brute-force
+enumeration of all m^n vectors for a range of (n, m, x).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_counting_theorem3
+
+
+def test_e3_counting_theorem3(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_counting_theorem3)

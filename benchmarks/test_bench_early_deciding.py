@@ -1,0 +1,14 @@
+"""E10 — Section 8: early decision.
+
+Measures the decision round of the early-deciding k-set agreement algorithm as
+a function of the actual number of crashes f and checks it against the
+adaptive bound min(⌊f/k⌋ + 2, ⌊t/k⌋ + 1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_early_deciding
+
+
+def test_e10_early_deciding(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_early_deciding)

@@ -1,0 +1,15 @@
+"""E2 — Figure 1: the lattice of (x, l)-legality classes.
+
+Rebuilds the inclusion picture of Figure 1, checks that the cover-edge
+reachability coincides with the closed-form order of Theorems 4 and 6, that
+the strictness witnesses of Theorems 5 and 7 behave as proved, and that the
+all-vectors condition sits exactly in the region l > x (Theorems 8 and 9).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_lattice_figure1
+
+
+def test_e2_lattice_figure1(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_lattice_figure1, n=5)

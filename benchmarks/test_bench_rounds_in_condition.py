@@ -1,0 +1,15 @@
+"""E6 — Theorem 10, input vector in the condition.
+
+Sweeps (n, t, d, l, k), runs the Figure 2 algorithm against a family of
+adversarial crash schedules and checks that the worst measured decision round
+never exceeds ⌊(d + l − 1)/k⌋ + 1, and that the fast path (at most t − d
+crashes during round 1) decides in two rounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_rounds_in_condition
+
+
+def test_e6_rounds_in_condition(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_rounds_in_condition, random_runs=10)

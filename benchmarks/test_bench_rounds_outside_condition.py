@@ -1,0 +1,15 @@
+"""E7 — Theorem 10, input vector outside the condition.
+
+Same sweep as E6 but with input vectors provably outside the condition: the
+worst measured decision round must stay within the classical ⌊t/k⌋ + 1 bound,
+and runs where more than t − d processes crash initially must decide by
+⌊(d + l − 1)/k⌋ + 1.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_rounds_outside_condition
+
+
+def test_e7_rounds_outside_condition(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_rounds_outside_condition, random_runs=10)

@@ -1,0 +1,15 @@
+"""E9 — the special cases called out by the paper's abstract.
+
+k = l = 1 must reproduce the condition-based synchronous consensus bounds
+(d + 1 rounds inside the condition, t + 1 outside), and the degenerate
+instantiation d = t, l = 1 must behave like the classical ⌊t/k⌋ + 1 k-set
+agreement algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_special_cases
+
+
+def test_e9_special_cases(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_special_cases)

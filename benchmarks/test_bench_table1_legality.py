@@ -1,0 +1,15 @@
+"""E1 — Table 1 and the Appendix B incomparability results (Theorems 14 and 15).
+
+Regenerates Table 1 of the paper, verifies with the paper's recognizing
+function that the condition is (1, 1)-legal, and shows by exhaustive search
+that no (2, 2) recognizing function exists; the Theorem 15 family is checked
+the same way.  The benchmark times the exhaustive recognizer searches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_table1_legality
+
+
+def test_e1_table1_legality(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_table1_legality)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Explore the hierarchy of conditions: size versus decision time (Sections 3 and 5).
+
+For a synchronous system with n processes and up to t crashes, this script
+walks the two hierarchies of Section 5:
+
+* fixed l, increasing degree d — the condition covers more and more input
+  vectors (its size NB(t − d, l) grows) but the guaranteed decision round
+  ⌊(d + l − 1)/k⌋ + 1 degrades towards the classical ⌊t/k⌋ + 1;
+* fixed d, increasing l — same trade-off along the other axis, down to the
+  class that contains the condition made of all input vectors (l > t − d).
+
+It also prints the ASCII rendering of Figure 1 and the Graphviz DOT document.
+
+Run with::
+
+    python examples/condition_hierarchy_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import (
+    ConditionLattice,
+    SynchronousClass,
+    condition_fraction,
+    max_condition_size,
+)
+
+
+def hierarchy_fixed_ell_table(n: int, m: int, t: int, ell: int, k: int) -> str:
+    rows = []
+    for d in range(0, t + 1):
+        synchronous_class = SynchronousClass(t=t, d=d, ell=ell)
+        x = synchronous_class.x
+        rows.append(
+            {
+                "class": synchronous_class.label(),
+                "x=t−d": x,
+                "|condition| = NB(x,l)": max_condition_size(n, m, x, ell) if x < n else "-",
+                "fraction of inputs": condition_fraction(n, m, x, ell) if x < n else "-",
+                "rounds if input in C": synchronous_class.rounds_in_condition(k),
+                "rounds otherwise": synchronous_class.rounds_outside_condition(k),
+                "contains C_all": synchronous_class.contains_all_vectors_condition(),
+                "usable for k-set": synchronous_class.supports_k(k),
+            }
+        )
+    return format_table(
+        rows,
+        title=f"Hierarchy with l = {ell} fixed (n={n}, m={m}, t={t}, k={k})",
+    )
+
+
+def hierarchy_fixed_d_table(n: int, m: int, t: int, d: int, k: int) -> str:
+    rows = []
+    for ell in range(1, min(k, n - 1) + 1):
+        synchronous_class = SynchronousClass(t=t, d=d, ell=ell)
+        x = synchronous_class.x
+        rows.append(
+            {
+                "class": synchronous_class.label(),
+                "l": ell,
+                "|condition| = NB(x,l)": max_condition_size(n, m, x, ell),
+                "fraction of inputs": condition_fraction(n, m, x, ell),
+                "rounds if input in C": synchronous_class.rounds_in_condition(k),
+                "contains C_all": synchronous_class.contains_all_vectors_condition(),
+            }
+        )
+    return format_table(
+        rows, title=f"Hierarchy with d = {d} fixed (n={n}, m={m}, t={t}, k={k})"
+    )
+
+
+def main() -> None:
+    n, m, t, k = 10, 8, 6, 3
+    print(hierarchy_fixed_ell_table(n, m, t, ell=1, k=k))
+    print()
+    print(hierarchy_fixed_d_table(n, m, t, d=3, k=k))
+    print()
+    lattice = ConditionLattice(6)
+    print("Figure 1 (ASCII rendering, n = 6):")
+    print(lattice.ascii_matrix())
+    print()
+    print("Graphviz DOT (pipe into `dot -Tpng` to draw Figure 1):")
+    print(lattice.to_dot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Domain scenario: choosing replacement coordinators after a failure storm.
+
+A cluster of 12 replicas loses contact with its coordinator.  Each replica
+proposes the identifier of the healthiest backup it observed; because all
+replicas watch the same health signals, the proposals are heavily skewed
+towards one or two candidates — but a few stragglers propose outliers.  The
+service can tolerate working briefly under up to k = 3 coordinators (requests
+are idempotent), so k-set agreement is the right abstraction, and the
+skewed inputs make a degree-d condition applicable.
+
+The script compares, over many randomly generated "failure storms":
+
+* the condition-based algorithm of the paper (Figure 2), and
+* the classical FloodMin baseline (⌊t/k⌋ + 1 rounds),
+
+reporting how often the fast path applies and the average number of rounds.
+
+Run with::
+
+    python examples/replica_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro import ConditionBasedKSetAgreement, MaxLegalCondition, SynchronousSystem
+from repro.algorithms import FloodMinKSetAgreement
+from repro.analysis import assert_execution_correct, format_table
+from repro.sync import random_schedule
+from repro.workloads import skewed_vector
+
+
+def main() -> None:
+    n, m, t, d, ell, k = 12, 16, 6, 3, 1, 3
+    rng = Random(2024)
+    condition = MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
+    condition_based = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+    baseline = FloodMinKSetAgreement(t=t, k=k)
+
+    storms = 200
+    rows = []
+    in_condition = 0
+    cond_rounds_total = 0
+    base_rounds_total = 0
+    fast_paths = 0
+
+    for _ in range(storms):
+        proposals = skewed_vector(n, m, rng, bias=0.75)
+        crash_count = rng.randint(0, t)
+        schedule = random_schedule(n, t, crash_count, max_round=3, rng=rng)
+
+        cond_result = SynchronousSystem(n, t, condition_based).run(proposals, schedule)
+        base_result = SynchronousSystem(n, t, baseline).run(proposals, schedule)
+        assert_execution_correct(cond_result, proposals, k)
+        assert_execution_correct(base_result, proposals, k)
+
+        if condition.contains(proposals):
+            in_condition += 1
+        if cond_result.max_decision_round_of_correct() <= 2:
+            fast_paths += 1
+        cond_rounds_total += cond_result.max_decision_round_of_correct()
+        base_rounds_total += base_result.max_decision_round_of_correct()
+
+    rows.append(
+        {
+            "storms": storms,
+            "inputs in condition": f"{in_condition}/{storms}",
+            "2-round fast paths": f"{fast_paths}/{storms}",
+            "avg rounds (condition-based)": cond_rounds_total / storms,
+            "avg rounds (FloodMin)": base_rounds_total / storms,
+            "classical bound": baseline.decision_round(),
+        }
+    )
+    print(
+        format_table(
+            rows,
+            title=(
+                "Coordinator reconfiguration: condition-based k-set agreement vs FloodMin "
+                f"(n={n}, t={t}, d={d}, k={k})"
+            ),
+        )
+    )
+    print(
+        "\nBecause the replicas' observations mostly agree, the input vector almost always\n"
+        "belongs to the condition and the service converges in 2 rounds instead of "
+        f"{baseline.decision_round()}."
+    )
+
+
+if __name__ == "__main__":
+    main()

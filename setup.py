@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that the package can be installed on minimal, offline environments where the
+``wheel`` package (required by PEP 660 editable installs) is unavailable::
+
+    python setup.py develop        # editable install without wheel
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""repro — a reproduction of Bonnet & Raynal, *Conditions for Set Agreement
+with an Application to Synchronous Systems* (ICDCS 2008).
+
+The package is organised as follows:
+
+* :mod:`repro.core` — the conditions framework: input vectors, views,
+  (x, l)-legality, recognizing functions, counting formulas, the lattice of
+  condition classes (Sections 2–5 of the paper);
+* :mod:`repro.sync` — a synchronous round-based message-passing simulator
+  with crash failures (the model of Section 6.2);
+* :mod:`repro.asynchronous` — an asynchronous shared-memory simulator with
+  atomic snapshots (the model of Section 4);
+* :mod:`repro.algorithms` — the condition-based synchronous k-set agreement
+  algorithm of Figure 2 plus the classical baselines it generalises;
+* :mod:`repro.workloads` — input-vector and crash-scenario generators;
+* :mod:`repro.analysis` — agreement property checkers, round-complexity
+  measurements and the experiment harness used by the benchmarks.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     MaxLegalCondition, ConditionBasedKSetAgreement, SynchronousSystem,
+...     InputVector,
+... )
+>>> n, t, d, ell, k = 8, 4, 2, 1, 2
+>>> condition = MaxLegalCondition(n=n, domain=10, x=t - d, ell=ell)
+>>> vector = InputVector([7, 7, 7, 3, 2, 7, 1, 5])
+>>> condition.contains(vector)
+True
+>>> algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+>>> system = SynchronousSystem(n=n, t=t, algorithm=algorithm)
+>>> result = system.run(vector)
+>>> sorted(set(result.decisions.values()))
+[7]
+"""
+
+from .exceptions import (
+    AdversaryError,
+    AgreementViolationError,
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+    LegalityError,
+    ProtocolStateError,
+    ReproError,
+    SimulationError,
+)
+from .core import (
+    BOTTOM,
+    ConditionLattice,
+    ConditionOracle,
+    ExplicitCondition,
+    InputVector,
+    LegalityClass,
+    MaxLegalCondition,
+    MaxValues,
+    MinValues,
+    SynchronousClass,
+    ValueDomain,
+    View,
+    max_condition_size,
+    nb_consensus_condition,
+    rounds_in_condition,
+    rounds_outside_condition,
+    table1_condition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversaryError",
+    "AgreementViolationError",
+    "BOTTOM",
+    "ConditionLattice",
+    "ConditionOracle",
+    "DecodingError",
+    "EmptyConditionError",
+    "ExplicitCondition",
+    "InputVector",
+    "InvalidParameterError",
+    "InvalidVectorError",
+    "LegalityClass",
+    "LegalityError",
+    "MaxLegalCondition",
+    "MaxValues",
+    "MinValues",
+    "ProtocolStateError",
+    "ReproError",
+    "SimulationError",
+    "SynchronousClass",
+    "ValueDomain",
+    "View",
+    "max_condition_size",
+    "nb_consensus_condition",
+    "rounds_in_condition",
+    "rounds_outside_condition",
+    "table1_condition",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the simulator and algorithm entry points.
+
+    The heavy subpackages (sync, asynchronous, algorithms, analysis) are
+    imported on first use so that ``import repro`` stays cheap for users who
+    only need the conditions framework.
+    """
+    lazy = {
+        "SynchronousSystem": ("repro.sync", "SynchronousSystem"),
+        "ExecutionResult": ("repro.sync", "ExecutionResult"),
+        "CrashSchedule": ("repro.sync", "CrashSchedule"),
+        "ConditionBasedKSetAgreement": (
+            "repro.algorithms",
+            "ConditionBasedKSetAgreement",
+        ),
+        "FloodMinKSetAgreement": ("repro.algorithms", "FloodMinKSetAgreement"),
+        "FloodSetConsensus": ("repro.algorithms", "FloodSetConsensus"),
+        "EarlyDecidingKSetAgreement": (
+            "repro.algorithms",
+            "EarlyDecidingKSetAgreement",
+        ),
+        "ConditionBasedConsensus": ("repro.algorithms", "ConditionBasedConsensus"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attribute = lazy[name]
+        module = importlib.import_module(module_name)
+        value = getattr(module, attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

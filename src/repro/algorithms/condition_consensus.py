@@ -1,0 +1,55 @@
+"""Condition-based synchronous consensus (the ``k = l = 1`` special case).
+
+The abstract of the paper points out that its generic algorithm contains, as
+the ``k = l = 1`` instance, the condition-based synchronous consensus of
+Mostéfaoui–Rajsbaum–Raynal (Distributed Computing, 2006): with a condition
+``C ∈ S^d_t[1]`` (an ``(t − d)``-legal consensus condition), consensus is
+reached in
+
+* 2 rounds when the input vector is in ``C`` and at most ``t − d`` processes
+  crash during the first round,
+* at most ``d + 1`` rounds when the input vector is in ``C``,
+* at most ``t + 1`` rounds otherwise.
+
+The class below is a thin, self-documenting wrapper over
+:class:`~repro.algorithms.condition_kset.ConditionBasedKSetAgreement` with
+``k = 1``; experiment E9 uses it to verify that the special case indeed
+reproduces the known consensus bounds.
+"""
+
+from __future__ import annotations
+
+from ..core.conditions import ConditionOracle
+from ..exceptions import InvalidParameterError
+from .condition_kset import ConditionBasedKSetAgreement
+
+__all__ = ["ConditionBasedConsensus"]
+
+
+class ConditionBasedConsensus(ConditionBasedKSetAgreement):
+    """Condition-based consensus: the generic algorithm instantiated with ``k = 1``.
+
+    The condition must be a *consensus* condition (degree ``l = 1``); a
+    condition of higher degree may legitimately lead to more than one decided
+    value and is therefore rejected.
+    """
+
+    def __init__(self, condition: ConditionOracle, t: int, d: int) -> None:
+        if condition.ell != 1:
+            raise InvalidParameterError(
+                "condition-based consensus needs a degree-1 condition "
+                f"(got l={condition.ell}); use ConditionBasedKSetAgreement for k >= l"
+            )
+        super().__init__(condition=condition, t=t, d=d, k=1)
+
+    @property
+    def name(self) -> str:
+        return f"condition-based consensus (d={self.d}, t={self.t})"
+
+    def consensus_decision_round(self) -> int:
+        """The in-condition bound ``d + 1`` (with the two-round floor)."""
+        return self.condition_decision_round()
+
+    def fallback_round(self) -> int:
+        """The outside-condition bound ``t + 1``."""
+        return self.last_round()

@@ -1,0 +1,38 @@
+"""Analysis: property checkers, round measurements and the experiment harness."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    list_experiments,
+    run_experiment,
+)
+from .properties import (
+    PropertyReport,
+    assert_execution_correct,
+    check_agreement,
+    check_execution,
+    check_round_bound,
+    check_termination,
+    check_validity,
+)
+from .rounds import RoundMeasurement, adversarial_schedules, measure_worst_rounds
+from .tables import format_check, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "PropertyReport",
+    "RoundMeasurement",
+    "adversarial_schedules",
+    "assert_execution_correct",
+    "check_agreement",
+    "check_execution",
+    "check_round_bound",
+    "check_termination",
+    "check_validity",
+    "format_check",
+    "format_table",
+    "list_experiments",
+    "measure_worst_rounds",
+    "run_experiment",
+]

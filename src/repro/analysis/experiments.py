@@ -1,0 +1,706 @@
+"""The experiment harness: one function per paper artifact (E1–E12).
+
+Every experiment function returns an :class:`ExperimentOutput` containing the
+rows of the regenerated table, a list of pass/fail checks comparing the
+measurement to what the paper proves, and a ``render()`` method producing the
+text recorded in ``EXPERIMENTS.md`` and printed by the benchmarks.
+
+The experiments are deliberately sized to run in seconds on a laptop (they are
+executed inside the benchmark suite); the underlying library functions accept
+larger parameters for users who want to push further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Callable, Mapping, Sequence
+
+from ..algorithms.classic_kset import FloodMinKSetAgreement
+from ..algorithms.condition_consensus import ConditionBasedConsensus
+from ..algorithms.condition_kset import ConditionBasedKSetAgreement
+from ..algorithms.early_deciding_kset import EarlyDecidingKSetAgreement
+from ..algorithms.async_condition_set_agreement import run_async_condition_set_agreement
+from ..core.conditions import MaxLegalCondition
+from ..core.counting import (
+    brute_force_condition_size,
+    condition_fraction,
+    max_condition_size,
+    nb_consensus_condition,
+)
+from ..core.generators import (
+    all_vectors_condition,
+    table1_condition,
+    theorem15_condition,
+    theorem5_condition,
+    theorem7_condition,
+)
+from ..core.hierarchy import (
+    LegalityClass,
+    SynchronousClass,
+    rounds_in_condition,
+    rounds_outside_condition,
+)
+from ..core.lattice import ConditionLattice
+from ..core.legality import check_legality, is_legal
+from ..core.recognizing import MaxValues
+from ..core.vectors import InputVector
+from ..sync.adversary import crashes_in_round_one, no_crashes, staggered_schedule
+from ..sync.runtime import SynchronousSystem
+from ..workloads.vectors import (
+    vector_in_max_condition,
+    vector_outside_max_condition,
+)
+from .properties import assert_execution_correct, check_execution
+from .rounds import adversarial_schedules, measure_worst_rounds
+from .tables import format_check, format_table
+
+__all__ = ["ExperimentOutput", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass
+class ExperimentOutput:
+    """Rows + checks produced by one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    checks: list[tuple[str, bool]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def all_checks_pass(self) -> bool:
+        """``True`` when every recorded check holds."""
+        return all(holds for _, holds in self.checks)
+
+    def render(self) -> str:
+        """Readable report: title, table, checks, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.rows))
+        if self.checks:
+            parts.append("")
+            parts.extend(format_check(label, holds) for label, holds in self.checks)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# E1 — Table 1 and the diagonal incomparability (Theorems 14 and 15)
+# ----------------------------------------------------------------------
+def experiment_table1_legality() -> ExperimentOutput:
+    """Reproduce Table 1 and the Appendix B incomparability results."""
+    output = ExperimentOutput("E1", "Table 1 / Theorems 14–15: diagonal incomparability")
+    condition, recognizer = table1_condition()
+    for vector in sorted(condition.vectors, key=lambda v: tuple(map(str, v.entries))):
+        output.rows.append(
+            {
+                "vector": "[" + " ".join(map(str, vector.entries)) + "]",
+                "h_1": ",".join(sorted(recognizer.decode_vector(vector))),
+            }
+        )
+    legal_11 = bool(check_legality(condition, recognizer, x=1, ell=1))
+    search_11 = is_legal(condition, 1, 1)
+    search_22 = is_legal(condition, 2, 2)
+    search_12 = is_legal(condition, 1, 2)
+    output.checks.append(("Table 1 condition is (1,1)-legal with the paper's h_1", legal_11))
+    output.checks.append(("exhaustive search also finds a (1,1) recognizer", search_11))
+    output.checks.append(("no (2,2) recognizer exists (Theorem 14)", not search_22))
+    output.checks.append(("a (1,2) recognizer exists (Theorem 6)", search_12))
+
+    thm15_cond, thm15_rec = theorem15_condition(n=6, x=3, ell=2)
+    legal_43 = bool(check_legality(thm15_cond, thm15_rec, x=4, ell=3))
+    not_32 = not is_legal(thm15_cond, 3, 2)
+    output.checks.append(("Theorem 15 family (n=6, x=3, l=2) is (4,3)-legal", legal_43))
+    output.checks.append(("Theorem 15 family is not (3,2)-legal", not_32))
+    return output
+
+
+# ----------------------------------------------------------------------
+# E2 — Figure 1: the lattice of condition classes
+# ----------------------------------------------------------------------
+def experiment_lattice_figure1(n: int = 5) -> ExperimentOutput:
+    """Rebuild Figure 1 and verify the inclusion / strictness / frontier facts."""
+    output = ExperimentOutput("E2", f"Figure 1: the (x, l) lattice for n={n}")
+    lattice = ConditionLattice(n)
+    for x in range(n - 1, -1, -1):
+        row: dict[str, Any] = {"x": x}
+        for ell in range(1, n):
+            cell = lattice.cell(x, ell)
+            row[f"l={ell}"] = "C_all" if cell.contains_all_vectors else "-"
+        output.rows.append(row)
+
+    # Reachability in the cover graph coincides with the closed-form order.
+    order_consistent = all(
+        lattice.includes(a, b) == a.is_subclass_of(b)
+        for a in lattice.classes()
+        for b in lattice.classes()
+    )
+    output.checks.append(
+        ("cover-edge reachability matches the Theorem 4/6 order", order_consistent)
+    )
+    # All-vectors frontier (Theorems 8 and 9) verified empirically on a small system.
+    small_n, small_m = 3, 3
+    frontier_ok = True
+    for x in range(0, small_n - 1):
+        for ell in range(1, small_n):
+            legal = is_legal(all_vectors_condition(small_n, small_m), x, ell, max_subset_size=2)
+            if legal != (ell > x):
+                frontier_ok = False
+    output.checks.append(
+        (
+            f"C_all on n={small_n}, m={small_m} is (x,l)-legal exactly when l > x "
+            "(Theorems 8–9)",
+            frontier_ok,
+        )
+    )
+    # Strictness along both axes (Theorems 5 and 7) on small witnesses.
+    thm5 = theorem5_condition(4, 3, 2, 1)
+    strict_x = bool(
+        check_legality(thm5, thm5.recognizer, x=2, ell=1, max_subset_size=3)
+    ) and not is_legal(thm5, 3, 1, max_subset_size=2)
+    thm7 = theorem7_condition(4, 3, 2, 1)
+    strict_ell = bool(
+        check_legality(thm7, thm7.recognizer, x=2, ell=2, max_subset_size=3)
+    ) and not is_legal(thm7, 2, 1, max_subset_size=2)
+    output.checks.append(("Theorem 5 witness: (2,1)-legal but not (3,1)-legal", strict_x))
+    output.checks.append(("Theorem 7 witness: (2,2)-legal but not (2,1)-legal", strict_ell))
+    output.notes.append("full DOT rendering available via ConditionLattice(n).to_dot()")
+    return output
+
+
+# ----------------------------------------------------------------------
+# E3 / E4 — the counting formulas (Theorems 3 and 13)
+# ----------------------------------------------------------------------
+def experiment_counting_theorem3(
+    cases: Sequence[tuple[int, int, int]] = ((4, 3, 1), (4, 3, 2), (5, 3, 2), (5, 4, 3), (6, 2, 3)),
+) -> ExperimentOutput:
+    """``NB(x, 1)`` closed form vs exhaustive enumeration."""
+    output = ExperimentOutput("E3", "Theorem 3: size NB(x, 1) of the max_1 condition")
+    all_match = True
+    for n, m, x in cases:
+        formula = nb_consensus_condition(n, m, x)
+        brute = brute_force_condition_size(n, m, x, 1)
+        all_match &= formula == brute
+        output.rows.append(
+            {
+                "n": n,
+                "m": m,
+                "x": x,
+                "NB(x,1) formula": formula,
+                "enumeration": brute,
+                "fraction of m^n": condition_fraction(n, m, x, 1),
+            }
+        )
+    output.checks.append(("closed form matches enumeration on every case", all_match))
+    return output
+
+
+def experiment_counting_theorem13(
+    cases: Sequence[tuple[int, int, int, int]] = (
+        (4, 3, 2, 1),
+        (4, 3, 2, 2),
+        (5, 3, 2, 2),
+        (5, 4, 3, 2),
+        (5, 3, 2, 3),
+        (6, 3, 4, 2),
+    ),
+) -> ExperimentOutput:
+    """``NB(x, l)`` closed form vs exhaustive enumeration."""
+    output = ExperimentOutput("E4", "Theorem 13: size NB(x, l) of the max_l condition")
+    all_match = True
+    for n, m, x, ell in cases:
+        formula = max_condition_size(n, m, x, ell)
+        brute = brute_force_condition_size(n, m, x, ell)
+        all_match &= formula == brute
+        output.rows.append(
+            {
+                "n": n,
+                "m": m,
+                "x": x,
+                "l": ell,
+                "NB(x,l) formula": formula,
+                "enumeration": brute,
+                "fraction of m^n": condition_fraction(n, m, x, ell),
+            }
+        )
+    output.checks.append(("closed form matches enumeration on every case", all_match))
+    # Monotonicity along the two hierarchy axes (Section 5): larger l or larger
+    # d (smaller x) can only add vectors.
+    n, m = 5, 3
+    monotone_ell = all(
+        max_condition_size(n, m, 2, ell) <= max_condition_size(n, m, 2, ell + 1)
+        for ell in range(1, 4)
+    )
+    monotone_x = all(
+        max_condition_size(n, m, x + 1, 2) <= max_condition_size(n, m, x, 2)
+        for x in range(0, 4)
+    )
+    output.checks.append(("NB grows with l (hierarchy with d fixed)", monotone_ell))
+    output.checks.append(("NB shrinks as x grows (hierarchy with l fixed)", monotone_x))
+    return output
+
+
+# ----------------------------------------------------------------------
+# E5 — the all-vectors frontier
+# ----------------------------------------------------------------------
+def experiment_all_vectors_frontier(n: int = 3, m: int = 3) -> ExperimentOutput:
+    """Theorems 8 and 9: ``C_all`` is (x, l)-legal iff ``l > x`` (small systems)."""
+    output = ExperimentOutput(
+        "E5", f"Theorems 8–9: legality frontier of C_all (n={n}, m={m})"
+    )
+    frontier_ok = True
+    for x in range(0, n - 1):
+        row: dict[str, Any] = {"x": x}
+        for ell in range(1, n):
+            expected = ell > x
+            if expected:
+                # Theorem 8's witness is max_l itself; verifying the explicit
+                # recognizer is much cheaper than an exhaustive search.
+                legal = bool(
+                    check_legality(
+                        all_vectors_condition(n, m, ell=ell),
+                        MaxValues(ell),
+                        x=x,
+                        ell=ell,
+                        max_subset_size=2,
+                    )
+                )
+            else:
+                legal = is_legal(all_vectors_condition(n, m), x, ell, max_subset_size=2)
+            row[f"l={ell}"] = "legal" if legal else "not legal"
+            frontier_ok &= legal == expected
+        output.rows.append(row)
+    output.checks.append(("legality of C_all is exactly the region l > x", frontier_ok))
+    return output
+
+
+# ----------------------------------------------------------------------
+# E6 / E7 — round complexity of the Figure 2 algorithm
+# ----------------------------------------------------------------------
+def _condition_sweep_cases() -> list[tuple[int, int, int, int, int, int]]:
+    """(n, m, t, d, ell, k) cases used by the round-complexity sweeps."""
+    return [
+        (8, 10, 4, 2, 1, 2),
+        (8, 10, 4, 3, 1, 2),
+        (9, 12, 6, 3, 2, 3),
+        (9, 12, 6, 4, 2, 2),
+        (10, 12, 6, 2, 1, 3),
+        (10, 12, 5, 3, 2, 2),
+        (7, 10, 4, 1, 1, 2),
+    ]
+
+
+def experiment_rounds_in_condition(random_runs: int = 10, seed: int = 7) -> ExperimentOutput:
+    """E6: rounds when the input vector belongs to the condition."""
+    output = ExperimentOutput(
+        "E6", "Theorem 10 (input in C): measured rounds vs ⌊(d+l−1)/k⌋ + 1"
+    )
+    all_within = True
+    fast_path_ok = True
+    rng = Random(seed)
+    for n, m, t, d, ell, k in _condition_sweep_cases():
+        x = t - d
+        condition = MaxLegalCondition(n, m, x, ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        vector = vector_in_max_condition(n, m, x, ell, rng)
+        bound = min(rounds_in_condition(d, ell, k), rounds_outside_condition(t, k))
+        schedules = adversarial_schedules(
+            n, t, k, algorithm.last_round(), rng=rng, random_runs=random_runs
+        )
+        measurement = measure_worst_rounds(algorithm, n, t, vector, schedules, k)
+        all_within &= measurement.worst_round <= bound
+
+        # Fast path: at most t − d crashes during round 1 → two rounds.
+        system = SynchronousSystem(n, t, algorithm)
+        fast_schedule = (
+            crashes_in_round_one(n, x, delivered_prefix=n // 2) if x > 0 else no_crashes()
+        )
+        fast_result = system.run(vector, fast_schedule)
+        assert_execution_correct(fast_result, vector, k)
+        fast_path_ok &= fast_result.max_decision_round_of_correct() <= 2
+
+        output.rows.append(
+            {
+                "n": n,
+                "t": t,
+                "d": d,
+                "l": ell,
+                "k": k,
+                "bound ⌊(d+l−1)/k⌋+1": bound,
+                "worst measured": measurement.worst_round,
+                "fast path rounds": fast_result.max_decision_round_of_correct(),
+                "schedules": measurement.runs,
+            }
+        )
+    output.checks.append(("every run decides within the in-condition bound", all_within))
+    output.checks.append(("fast path (≤ t−d crashes in round 1) decides in 2 rounds", fast_path_ok))
+    return output
+
+
+def experiment_rounds_outside_condition(random_runs: int = 10, seed: int = 11) -> ExperimentOutput:
+    """E7: rounds when the input vector is outside the condition."""
+    output = ExperimentOutput(
+        "E7", "Theorem 10 (input not in C): measured rounds vs ⌊t/k⌋ + 1"
+    )
+    all_within = True
+    tmf_fast_ok = True
+    rng = Random(seed)
+    for n, m, t, d, ell, k in _condition_sweep_cases():
+        x = t - d
+        if ell > x:
+            continue  # no outside vector exists (the condition is C_all)
+        condition = MaxLegalCondition(n, m, x, ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        try:
+            vector = vector_outside_max_condition(n, m, x, ell, rng)
+        except Exception:
+            continue
+        bound = rounds_outside_condition(t, k)
+        schedules = adversarial_schedules(
+            n, t, k, algorithm.last_round(), rng=rng, random_runs=random_runs
+        )
+        measurement = measure_worst_rounds(algorithm, n, t, vector, schedules, k)
+        all_within &= measurement.worst_round <= bound
+
+        # When more than t − d processes crash initially, the tmf branch bounds
+        # the decision by ⌊(d+l−1)/k⌋ + 1 even outside the condition.
+        early_bound = min(rounds_in_condition(d, ell, k), bound)
+        tmf_result = SynchronousSystem(n, t, algorithm).run(
+            vector, crashes_in_round_one(n, min(t, x + 1), delivered_prefix=0)
+        )
+        assert_execution_correct(tmf_result, vector, k)
+        tmf_fast_ok &= tmf_result.max_decision_round_of_correct() <= early_bound
+
+        output.rows.append(
+            {
+                "n": n,
+                "t": t,
+                "d": d,
+                "l": ell,
+                "k": k,
+                "bound ⌊t/k⌋+1": bound,
+                "worst measured": measurement.worst_round,
+                ">t−d initial crashes bound": early_bound,
+                ">t−d initial crashes measured": tmf_result.max_decision_round_of_correct(),
+            }
+        )
+    output.checks.append(("every run decides within ⌊t/k⌋ + 1 rounds", all_within))
+    output.checks.append(
+        ("with more than t−d initial crashes, decisions come by ⌊(d+l−1)/k⌋ + 1", tmf_fast_ok)
+    )
+    return output
+
+
+# ----------------------------------------------------------------------
+# E8 — comparison with the classical baseline
+# ----------------------------------------------------------------------
+def experiment_baseline_comparison(seed: int = 13) -> ExperimentOutput:
+    """E8: the dividing power of conditions — condition-based vs FloodMin."""
+    output = ExperimentOutput(
+        "E8", "Condition-based algorithm vs FloodMin baseline (input in C)"
+    )
+    rng = Random(seed)
+    speedups_grow = []
+    all_correct = True
+    n, m, t, k = 12, 16, 9, 3
+    for d in range(1, t):
+        ell = 1
+        x = t - d
+        if ell > x:
+            continue
+        condition = MaxLegalCondition(n, m, x, ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        baseline = FloodMinKSetAgreement(t=t, k=k)
+        vector = vector_in_max_condition(n, m, x, ell, rng)
+        schedule = staggered_schedule(n, t, per_round=k)
+
+        cond_result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
+        base_result = SynchronousSystem(n, t, baseline).run(vector, schedule)
+        all_correct &= bool(check_execution(cond_result, vector, k))
+        all_correct &= bool(check_execution(base_result, vector, k))
+
+        cond_rounds = cond_result.max_decision_round_of_correct()
+        base_rounds = base_result.max_decision_round_of_correct()
+        speedups_grow.append((d, base_rounds / cond_rounds))
+        output.rows.append(
+            {
+                "d": d,
+                "x=t−d": x,
+                "condition bound": min(
+                    rounds_in_condition(d, ell, k), rounds_outside_condition(t, k)
+                ),
+                "condition measured": cond_rounds,
+                "FloodMin bound": baseline.decision_round(),
+                "FloodMin measured": base_rounds,
+                "speed-up": base_rounds / cond_rounds,
+                "condition fraction": condition_fraction(n, m, x, ell),
+            }
+        )
+    output.checks.append(("both algorithms satisfy the agreement properties", all_correct))
+    never_slower = all(
+        row["condition measured"] <= row["FloodMin measured"] for row in output.rows
+    )
+    output.checks.append(
+        ("the condition-based algorithm is never slower when the input is in C", never_slower)
+    )
+    # The trade-off of Section 5: smaller d → stronger condition → bigger speed-up,
+    # but fewer vectors in the condition.
+    fractions = [row["condition fraction"] for row in output.rows]
+    output.checks.append(
+        ("the condition covers more inputs as d grows (size/speed trade-off)",
+         all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))),
+    )
+    return output
+
+
+# ----------------------------------------------------------------------
+# E9 — the special cases called out by the abstract
+# ----------------------------------------------------------------------
+def experiment_special_cases(seed: int = 17) -> ExperimentOutput:
+    """E9: k = l = 1 (condition-based consensus) and d = t, l = 1 (classical)."""
+    output = ExperimentOutput("E9", "Special cases: consensus (k=l=1) and d=t (classical)")
+    rng = Random(seed)
+    n, m, t = 9, 12, 5
+    checks_ok = True
+
+    # k = l = 1: condition-based consensus, bounds d + 1 / t + 1.
+    for d in (1, 2, 3, 4):
+        x = t - d
+        condition = MaxLegalCondition(n, m, x, 1)
+        consensus = ConditionBasedConsensus(condition=condition, t=t, d=d)
+        vector_in = vector_in_max_condition(n, m, x, 1, rng)
+        schedules = adversarial_schedules(n, t, 1, consensus.fallback_round(), rng=rng, random_runs=8)
+        measurement = measure_worst_rounds(consensus, n, t, vector_in, schedules, 1)
+        bound_in = max(2, d + 1)
+        checks_ok &= measurement.worst_round <= bound_in
+        row = {
+            "case": "k=l=1, input in C",
+            "d": d,
+            "paper bound": f"d+1 = {bound_in}",
+            "measured": measurement.worst_round,
+            "agreement": measurement.worst_agreement,
+        }
+        output.rows.append(row)
+
+        vector_out = vector_outside_max_condition(n, m, x, 1, rng)
+        measurement_out = measure_worst_rounds(consensus, n, t, vector_out, schedules, 1)
+        checks_ok &= measurement_out.worst_round <= t + 1
+        output.rows.append(
+            {
+                "case": "k=l=1, input not in C",
+                "d": d,
+                "paper bound": f"t+1 = {t + 1}",
+                "measured": measurement_out.worst_round,
+                "agreement": measurement_out.worst_agreement,
+            }
+        )
+
+    # d = t, l = 1: the degenerate instantiation behaves like the classical
+    # ⌊t/k⌋ + 1 algorithm (the condition contains every vector).
+    k = 2
+    condition = MaxLegalCondition(n, m, 0, 1)
+    classical_like = ConditionBasedKSetAgreement(
+        condition=condition, t=t, d=t, k=k, enforce_requirements=False
+    )
+    baseline = FloodMinKSetAgreement(t=t, k=k)
+    vector = vector_in_max_condition(n, m, 0, 1, rng)
+    schedules = adversarial_schedules(n, t, k, baseline.decision_round(), rng=rng, random_runs=8)
+    measurement = measure_worst_rounds(classical_like, n, t, vector, schedules, k)
+    classical_bound = rounds_outside_condition(t, k)
+    checks_ok &= measurement.worst_round <= classical_bound
+    output.rows.append(
+        {
+            "case": "d=t, l=1 (classical regime)",
+            "d": t,
+            "paper bound": f"⌊t/k⌋+1 = {classical_bound}",
+            "measured": measurement.worst_round,
+            "agreement": measurement.worst_agreement,
+        }
+    )
+    output.checks.append(("all special-case bounds hold", checks_ok))
+    return output
+
+
+# ----------------------------------------------------------------------
+# E10 — early decision
+# ----------------------------------------------------------------------
+def experiment_early_deciding(seed: int = 19) -> ExperimentOutput:
+    """E10: early-deciding k-set agreement, measured rounds vs min(⌊f/k⌋+2, ⌊t/k⌋+1)."""
+    output = ExperimentOutput(
+        "E10", "Section 8: early decision — rounds as a function of the actual crashes f"
+    )
+    n, m, t, k = 10, 8, 6, 2
+    rng = Random(seed)
+    algorithm = EarlyDecidingKSetAgreement(t=t, k=k)
+    all_within = True
+    all_correct = True
+    for f in range(0, t + 1):
+        vector = InputVector([rng.randint(1, m) for _ in range(n)])
+        schedule = (
+            crashes_in_round_one(n, f, delivered_prefix=n // 2) if f > 0 else no_crashes()
+        )
+        result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
+        all_correct &= bool(check_execution(result, vector, k))
+        bound = algorithm.early_bound(f)
+        measured = result.max_decision_round_of_correct()
+        all_within &= measured <= bound
+        output.rows.append(
+            {
+                "f": f,
+                "bound min(⌊f/k⌋+2, ⌊t/k⌋+1)": bound,
+                "measured": measured,
+                "unconditional bound": algorithm.last_round(),
+            }
+        )
+    output.checks.append(("termination, validity and k-agreement hold in every run", all_correct))
+    output.checks.append(("every run decides within the early-deciding bound", all_within))
+    return output
+
+
+# ----------------------------------------------------------------------
+# E11 — agreement stress test
+# ----------------------------------------------------------------------
+def experiment_agreement_stress(runs: int = 150, seed: int = 23) -> ExperimentOutput:
+    """E11: Theorem 12 under many adversarial schedules — never more than k values."""
+    output = ExperimentOutput(
+        "E11", "Theorem 12: distinct decided values under adversarial crash schedules"
+    )
+    rng = Random(seed)
+    cases = [(8, 10, 4, 2, 1, 2), (9, 12, 6, 3, 2, 3), (10, 12, 6, 2, 1, 3)]
+    all_ok = True
+    for n, m, t, d, ell, k in cases:
+        x = t - d
+        condition = MaxLegalCondition(n, m, x, ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        system = SynchronousSystem(n, t, algorithm)
+        worst = 0
+        for _ in range(runs):
+            inside = rng.random() < 0.5
+            if inside:
+                vector = vector_in_max_condition(n, m, x, ell, rng)
+            else:
+                try:
+                    vector = vector_outside_max_condition(n, m, x, ell, rng)
+                except Exception:
+                    vector = vector_in_max_condition(n, m, x, ell, rng)
+            schedules = adversarial_schedules(
+                n, t, k, algorithm.last_round(), rng=rng, random_runs=1,
+                include_round_one_batches=False,
+            )
+            schedule = schedules[rng.randrange(len(schedules))]
+            result = system.run(vector, schedule)
+            report = check_execution(result, vector, k)
+            all_ok &= bool(report)
+            worst = max(worst, result.distinct_decision_count())
+        output.rows.append(
+            {
+                "n": n,
+                "t": t,
+                "d": d,
+                "l": ell,
+                "k": k,
+                "runs": runs,
+                "max distinct decisions": worst,
+            }
+        )
+    output.checks.append(("no run ever decided more than k values", all_ok))
+    return output
+
+
+# ----------------------------------------------------------------------
+# E12 — asynchronous solvability (Section 4)
+# ----------------------------------------------------------------------
+def experiment_async_solvability(seed: int = 29) -> ExperimentOutput:
+    """E12: (x, l)-legal conditions solve asynchronous l-set agreement with ≤ x crashes."""
+    output = ExperimentOutput(
+        "E12", "Section 4: asynchronous l-set agreement from an (x, l)-legal condition"
+    )
+    rng = Random(seed)
+    cases = [(6, 8, 2, 1), (7, 8, 3, 2), (8, 10, 3, 1)]
+    in_condition_ok = True
+    for n, m, x, ell in cases:
+        condition = MaxLegalCondition(n, m, x, ell)
+        vector = vector_in_max_condition(n, m, x, ell, rng)
+        crashed = tuple(rng.sample(range(n), x))
+        result = run_async_condition_set_agreement(
+            condition, x, vector, crashed=crashed, seed=rng.randint(0, 10**6)
+        )
+        report = check_execution(result, vector, ell)
+        in_condition_ok &= bool(report) and result.terminated
+        output.rows.append(
+            {
+                "n": n,
+                "x": x,
+                "l": ell,
+                "input in C": True,
+                "crashes": len(crashed),
+                "terminated": result.terminated,
+                "distinct decisions": result.distinct_decision_count(),
+                "total steps": result.total_steps,
+            }
+        )
+        # Outside the condition the algorithm may (and typically does) block.
+        try:
+            outside = vector_outside_max_condition(n, m, x, ell, rng)
+        except Exception:
+            continue
+        blocked = run_async_condition_set_agreement(
+            condition, x, outside, crashed=crashed, seed=rng.randint(0, 10**6),
+            max_steps_per_process=50,
+        )
+        output.rows.append(
+            {
+                "n": n,
+                "x": x,
+                "l": ell,
+                "input in C": False,
+                "crashes": len(crashed),
+                "terminated": blocked.terminated,
+                "distinct decisions": blocked.distinct_decision_count(),
+                "total steps": blocked.total_steps,
+            }
+        )
+    output.checks.append(
+        ("in-condition runs terminate with at most l values despite x crashes", in_condition_ok)
+    )
+    return output
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+EXPERIMENTS: dict[str, Callable[[], ExperimentOutput]] = {
+    "E1": experiment_table1_legality,
+    "E2": experiment_lattice_figure1,
+    "E3": experiment_counting_theorem3,
+    "E4": experiment_counting_theorem13,
+    "E5": experiment_all_vectors_frontier,
+    "E6": experiment_rounds_in_condition,
+    "E7": experiment_rounds_outside_condition,
+    "E8": experiment_baseline_comparison,
+    "E9": experiment_special_cases,
+    "E10": experiment_early_deciding,
+    "E11": experiment_agreement_stress,
+    "E12": experiment_async_solvability,
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, title) pairs for every registered experiment."""
+    listing = []
+    for experiment_id, function in EXPERIMENTS.items():
+        doc = (function.__doc__ or "").strip().splitlines()
+        listing.append((experiment_id, doc[0] if doc else ""))
+    return listing
+
+
+def run_experiment(experiment_id: str) -> ExperimentOutput:
+    """Run one experiment by id (``"E1"`` ... ``"E12"``)."""
+    try:
+        function = EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return function()

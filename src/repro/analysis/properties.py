@@ -1,0 +1,141 @@
+"""Property checkers for agreement executions.
+
+The three properties of the k-set agreement problem (Section 2.1) are checked
+on :class:`~repro.sync.runtime.ExecutionResult` /
+:class:`~repro.asynchronous.scheduler.AsyncExecutionResult` objects:
+
+* **Termination** — every correct process decides;
+* **Validity** — a decided value is a proposed value;
+* **Agreement** — at most ``k`` different values are decided.
+
+Each checker exists in two flavours: a ``check_*`` function returning a
+:class:`PropertyReport` (used by experiments to *measure*), and an
+``assert_*`` function raising :class:`AgreementViolationError` (used by tests
+to *enforce*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..asynchronous.scheduler import AsyncExecutionResult
+from ..core.vectors import InputVector
+from ..exceptions import AgreementViolationError
+from ..sync.runtime import ExecutionResult
+
+__all__ = [
+    "PropertyReport",
+    "check_termination",
+    "check_validity",
+    "check_agreement",
+    "check_execution",
+    "assert_execution_correct",
+    "check_round_bound",
+]
+
+AnyResult = ExecutionResult | AsyncExecutionResult
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking one or several properties on an execution."""
+
+    satisfied: bool = True
+    failures: list[str] = field(default_factory=list)
+
+    def record(self, message: str) -> None:
+        """Record one violation."""
+        self.satisfied = False
+        self.failures.append(message)
+
+    def merge(self, other: "PropertyReport") -> "PropertyReport":
+        """Combine two reports (both must hold for the merge to hold)."""
+        merged = PropertyReport(
+            satisfied=self.satisfied and other.satisfied,
+            failures=[*self.failures, *other.failures],
+        )
+        return merged
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def _correct_processes(result: AnyResult) -> frozenset[int]:
+    return result.correct_processes
+
+
+def check_termination(result: AnyResult) -> PropertyReport:
+    """Every correct (never crashed) process must have decided."""
+    report = PropertyReport()
+    for process_id in sorted(_correct_processes(result)):
+        if process_id not in result.decisions:
+            report.record(f"correct process {process_id} never decided")
+    if isinstance(result, AsyncExecutionResult) and not result.terminated:
+        report.record("the asynchronous run exhausted its step budget before termination")
+    return report
+
+
+def check_validity(result: AnyResult, proposals: InputVector | Iterable[Any]) -> PropertyReport:
+    """Every decided value must have been proposed."""
+    if isinstance(proposals, InputVector):
+        proposed = set(proposals.entries)
+    else:
+        proposed = set(proposals)
+    report = PropertyReport()
+    for process_id, value in sorted(result.decisions.items()):
+        if value not in proposed:
+            report.record(
+                f"process {process_id} decided {value!r}, which was never proposed"
+            )
+    return report
+
+
+def check_agreement(result: AnyResult, k: int) -> PropertyReport:
+    """At most *k* distinct values may be decided."""
+    report = PropertyReport()
+    decided = result.decided_values()
+    if len(decided) > k:
+        report.record(
+            f"{len(decided)} distinct values decided ({sorted(map(repr, decided))}), "
+            f"but k={k}"
+        )
+    return report
+
+
+def check_round_bound(result: ExecutionResult, bound: int) -> PropertyReport:
+    """No correct process may decide after round *bound* (synchronous runs only)."""
+    report = PropertyReport()
+    worst = result.max_decision_round_of_correct()
+    if worst > bound:
+        report.record(
+            f"some correct process decided at round {worst}, beyond the bound {bound}"
+        )
+    return report
+
+
+def check_execution(
+    result: AnyResult,
+    proposals: InputVector | Iterable[Any],
+    k: int,
+    round_bound: int | None = None,
+) -> PropertyReport:
+    """Check termination, validity, agreement and (optionally) the round bound."""
+    report = check_termination(result)
+    report = report.merge(check_validity(result, proposals))
+    report = report.merge(check_agreement(result, k))
+    if round_bound is not None and isinstance(result, ExecutionResult):
+        report = report.merge(check_round_bound(result, round_bound))
+    return report
+
+
+def assert_execution_correct(
+    result: AnyResult,
+    proposals: InputVector | Iterable[Any],
+    k: int,
+    round_bound: int | None = None,
+) -> None:
+    """Raise :class:`AgreementViolationError` if any property is violated."""
+    report = check_execution(result, proposals, k, round_bound)
+    if not report:
+        raise AgreementViolationError("; ".join(report.failures))

@@ -1,0 +1,60 @@
+"""Plain-text table formatting for experiment outputs.
+
+Every experiment of :mod:`repro.analysis.experiments` produces a list of row
+dictionaries; this module renders them as the aligned text tables printed by
+the benchmarks and examples (and recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_check"]
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Iterable[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render *rows* as an aligned plain-text table.
+
+    Columns default to the keys of the first row, in insertion order.  Missing
+    cells render as an empty string.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    else:
+        columns = list(columns)
+    rendered = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def format_check(label: str, holds: bool) -> str:
+    """A one-line PASS/FAIL marker used in experiment summaries."""
+    return f"[{'PASS' if holds else 'FAIL'}] {label}"

@@ -1,0 +1,16 @@
+"""Asynchronous shared-memory substrate (the model of Section 4).
+
+Atomic single-writer registers with snapshots, step-based processes and an
+adversarial scheduler that models crashes as processes never scheduled again.
+"""
+
+from .process import AsynchronousProcess
+from .scheduler import AsyncExecutionResult, AsynchronousScheduler
+from .shared_memory import SharedMemory
+
+__all__ = [
+    "AsyncExecutionResult",
+    "AsynchronousProcess",
+    "AsynchronousScheduler",
+    "SharedMemory",
+]

@@ -1,0 +1,145 @@
+"""Asynchronous scheduler: adversarial interleavings with crash failures.
+
+The scheduler owns the only source of non-determinism of the asynchronous
+model: which live process takes the next atomic step.  Crashes are modelled by
+simply never scheduling a process again after its crash point — from the other
+processes' perspective this is indistinguishable from the process being very
+slow, which is exactly why asynchronous agreement is hard.
+
+Because ``l``-set agreement is unsolvable in an asynchronous system with
+``l <= x`` crashes when all input vectors are possible, executions may
+legitimately not terminate.  The scheduler therefore runs for a bounded number
+of steps and reports whether all live processes decided; the property checkers
+and experiment E12 interpret the outcome (a run that exhausts its step budget
+without deciding is evidence of blocking, not an error of the substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..exceptions import InvalidParameterError
+from .process import AsynchronousProcess
+from .shared_memory import SharedMemory
+
+__all__ = ["AsyncExecutionResult", "AsynchronousScheduler"]
+
+
+@dataclass
+class AsyncExecutionResult:
+    """Outcome of one asynchronous execution."""
+
+    n: int
+    #: Mapping process id -> decided value.
+    decisions: dict[int, Any] = field(default_factory=dict)
+    #: Mapping process id -> number of atomic steps it had taken when it decided.
+    decision_steps: dict[int, int] = field(default_factory=dict)
+    #: Processes that were crashed by the scheduler.
+    crashed: frozenset[int] = frozenset()
+    #: Total number of atomic steps granted by the scheduler.
+    total_steps: int = 0
+    #: ``True`` when every live (non-crashed) process decided within the budget.
+    terminated: bool = True
+
+    def decided_values(self) -> frozenset[Any]:
+        """The set of distinct decided values."""
+        return frozenset(self.decisions.values())
+
+    def distinct_decision_count(self) -> int:
+        """Number of distinct decided values."""
+        return len(self.decided_values())
+
+    @property
+    def correct_processes(self) -> frozenset[int]:
+        """Processes that were never crashed."""
+        return frozenset(range(self.n)) - self.crashed
+
+
+class AsynchronousScheduler:
+    """Drives a set of :class:`AsynchronousProcess` objects step by step.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the pseudo-random interleaving (an explicit :class:`random.Random`
+        may be passed instead).  ``None`` gives a round-robin schedule, the
+        most regular interleaving.
+    max_steps_per_process:
+        Step budget per process; the total budget is ``n`` times this value.
+    """
+
+    def __init__(
+        self,
+        seed: Random | int | None = None,
+        max_steps_per_process: int = 1000,
+    ) -> None:
+        if max_steps_per_process < 1:
+            raise InvalidParameterError(
+                f"max_steps_per_process must be >= 1, got {max_steps_per_process}"
+            )
+        if seed is None:
+            self._rng: Random | None = None
+        elif isinstance(seed, Random):
+            self._rng = seed
+        else:
+            self._rng = Random(seed)
+        self._max_steps_per_process = max_steps_per_process
+
+    def run(
+        self,
+        processes: Sequence[AsynchronousProcess],
+        proposals: Mapping[int, Any] | Sequence[Any],
+        crashed: Iterable[int] = (),
+    ) -> AsyncExecutionResult:
+        """Run the processes on *proposals*, never scheduling the *crashed* ones.
+
+        Crashed processes take no step at all (the worst case for the others:
+        their proposal never reaches the shared memory, so at most ``n − f``
+        entries of any snapshot are filled).
+        """
+        n = len(processes)
+        crashed_set = frozenset(crashed)
+        for pid in crashed_set:
+            if not 0 <= pid < n:
+                raise InvalidParameterError(f"crashed process {pid} outside [0, {n})")
+
+        for process in processes:
+            value = (
+                proposals[process.process_id]
+                if isinstance(proposals, Mapping)
+                else proposals[process.process_id]
+            )
+            process.initialize(value)
+
+        result = AsyncExecutionResult(n=n, crashed=crashed_set)
+        budget = self._max_steps_per_process * n
+        live = [
+            process
+            for process in processes
+            if process.process_id not in crashed_set
+        ]
+
+        steps = 0
+        index = 0
+        while steps < budget:
+            runnable = [process for process in live if not process.has_decided()]
+            if not runnable:
+                break
+            if self._rng is None:
+                process = runnable[index % len(runnable)]
+                index += 1
+            else:
+                process = self._rng.choice(runnable)
+            process.step()
+            steps += 1
+            if process.has_decided():
+                result.decisions[process.process_id] = process.decision
+                result.decision_steps[process.process_id] = process.steps_taken
+
+        result.total_steps = steps
+        result.terminated = all(
+            process.has_decided() for process in live
+        )
+        return result

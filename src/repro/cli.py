@@ -1,0 +1,134 @@
+"""Command-line interface of the reproduction.
+
+Installed as ``repro-setagreement``; it runs the paper's experiments and a few
+interactive demonstrations without writing any Python::
+
+    repro-setagreement list                    # list the available experiments
+    repro-setagreement run E6                  # regenerate one experiment table
+    repro-setagreement run all                 # regenerate every experiment
+    repro-setagreement lattice --n 6           # print Figure 1 for n processes
+    repro-setagreement demo --n 8 --t 4 --d 2 --k 2   # run one execution end to end
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from random import Random
+from typing import Sequence
+
+from .analysis.experiments import EXPERIMENTS, list_experiments, run_experiment
+from .algorithms.condition_kset import ConditionBasedKSetAgreement
+from .core.conditions import MaxLegalCondition
+from .core.lattice import ConditionLattice
+from .sync.adversary import crashes_in_round_one, no_crashes
+from .sync.runtime import SynchronousSystem
+from .workloads.vectors import vector_in_max_condition
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-setagreement",
+        description="Condition-based k-set agreement (Bonnet & Raynal, ICDCS 2008) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E6, or 'all'")
+
+    lattice_parser = subparsers.add_parser("lattice", help="print the Figure 1 lattice")
+    lattice_parser.add_argument("--n", type=int, default=6, help="system size (default 6)")
+    lattice_parser.add_argument(
+        "--dot", action="store_true", help="emit Graphviz DOT instead of the ASCII matrix"
+    )
+
+    demo_parser = subparsers.add_parser("demo", help="run one synchronous execution")
+    demo_parser.add_argument("--n", type=int, default=8)
+    demo_parser.add_argument("--t", type=int, default=4)
+    demo_parser.add_argument("--d", type=int, default=2)
+    demo_parser.add_argument("--ell", type=int, default=1)
+    demo_parser.add_argument("--k", type=int, default=2)
+    demo_parser.add_argument("--m", type=int, default=10, help="number of proposable values")
+    demo_parser.add_argument("--crashes", type=int, default=0, help="round-1 crashes")
+    demo_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list() -> int:
+    for experiment_id, title in list_experiments():
+        print(f"{experiment_id:>4}  {title}")
+    return 0
+
+
+def _command_run(experiment: str) -> int:
+    ids = list(EXPERIMENTS) if experiment.lower() == "all" else [experiment]
+    status = 0
+    for experiment_id in ids:
+        output = run_experiment(experiment_id)
+        print(output.render())
+        print()
+        if not output.all_checks_pass():
+            status = 1
+    return status
+
+
+def _command_lattice(n: int, dot: bool) -> int:
+    lattice = ConditionLattice(n)
+    print(lattice.to_dot() if dot else lattice.ascii_matrix())
+    return 0
+
+
+def _command_demo(n: int, t: int, d: int, ell: int, k: int, m: int, crashes: int, seed: int) -> int:
+    condition = MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
+    algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+    vector = vector_in_max_condition(n, m, t - d, ell, Random(seed))
+    schedule = (
+        crashes_in_round_one(n, crashes, delivered_prefix=n // 2)
+        if crashes > 0
+        else no_crashes()
+    )
+    system = SynchronousSystem(n=n, t=t, algorithm=algorithm, record_trace=True)
+    result = system.run(vector, schedule)
+    print(f"algorithm        : {algorithm.name}")
+    print(f"input vector     : {list(vector.entries)}")
+    print(f"in the condition : {condition.contains(vector)}")
+    print(f"crash schedule   : {crashes} crash(es) in round 1")
+    print(f"rounds executed  : {result.rounds_executed}")
+    print(f"decisions        : {dict(sorted(result.decisions.items()))}")
+    print(f"distinct values  : {sorted(map(repr, result.decided_values()))} (k = {k})")
+    print(f"summary          : {result.summary()}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-setagreement`` executable."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        return _command_run(arguments.experiment)
+    if arguments.command == "lattice":
+        return _command_lattice(arguments.n, arguments.dot)
+    if arguments.command == "demo":
+        return _command_demo(
+            arguments.n,
+            arguments.t,
+            arguments.d,
+            arguments.ell,
+            arguments.k,
+            arguments.m,
+            arguments.crashes,
+            arguments.seed,
+        )
+    parser.error(f"unknown command {arguments.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

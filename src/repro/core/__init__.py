@@ -1,0 +1,112 @@
+"""The conditions framework (Sections 2–5 and the appendices of the paper).
+
+This subpackage is independent of any synchrony assumption: it defines input
+vectors and views, conditions, (x, l)-legality, the canonical recognizing
+functions, the counting formulas and the lattice of condition classes.
+"""
+
+from .conditions import ConditionOracle, ExplicitCondition, MaxLegalCondition
+from .counting import (
+    brute_force_condition_size,
+    condition_fraction,
+    max_condition_size,
+    nb_consensus_condition,
+    surjections,
+)
+from .generators import (
+    all_vectors_condition,
+    enumerate_all_vectors,
+    max_legal_condition,
+    table1_condition,
+    theorem5_condition,
+    theorem7_condition,
+    theorem15_condition,
+    two_values_condition,
+)
+from .hierarchy import (
+    LegalityClass,
+    SynchronousClass,
+    hierarchy_fixed_d,
+    hierarchy_fixed_ell,
+    rounds_in_condition,
+    rounds_outside_condition,
+)
+from .lattice import ConditionLattice, LatticeCell
+from .legality import (
+    LegalityReport,
+    LegalityViolation,
+    check_density,
+    check_distance,
+    check_legality,
+    check_validity,
+    find_recognizing_function,
+    is_legal,
+)
+from .recognizing import (
+    FunctionRecognizer,
+    MappingRecognizer,
+    MaxValues,
+    MinValues,
+    RecognizingFunction,
+    extend_to_view,
+)
+from .values import BOTTOM, Bottom, ValueDomain, is_bottom
+from .vectors import (
+    InputVector,
+    View,
+    generalized_distance,
+    hamming_distance,
+    intersecting_entries,
+    intersecting_values,
+)
+
+__all__ = [
+    "BOTTOM",
+    "Bottom",
+    "ConditionLattice",
+    "ConditionOracle",
+    "ExplicitCondition",
+    "FunctionRecognizer",
+    "InputVector",
+    "LatticeCell",
+    "LegalityClass",
+    "LegalityReport",
+    "LegalityViolation",
+    "MappingRecognizer",
+    "MaxLegalCondition",
+    "MaxValues",
+    "MinValues",
+    "RecognizingFunction",
+    "SynchronousClass",
+    "ValueDomain",
+    "View",
+    "all_vectors_condition",
+    "brute_force_condition_size",
+    "check_density",
+    "check_distance",
+    "check_legality",
+    "check_validity",
+    "condition_fraction",
+    "enumerate_all_vectors",
+    "extend_to_view",
+    "find_recognizing_function",
+    "generalized_distance",
+    "hamming_distance",
+    "hierarchy_fixed_d",
+    "hierarchy_fixed_ell",
+    "intersecting_entries",
+    "intersecting_values",
+    "is_bottom",
+    "is_legal",
+    "max_condition_size",
+    "max_legal_condition",
+    "nb_consensus_condition",
+    "rounds_in_condition",
+    "rounds_outside_condition",
+    "surjections",
+    "table1_condition",
+    "theorem15_condition",
+    "theorem5_condition",
+    "theorem7_condition",
+    "two_values_condition",
+]

@@ -1,0 +1,395 @@
+"""Conditions: sets of input vectors, explicit and implicit (Sections 2–3).
+
+A *condition* is a set of input vectors.  The synchronous algorithm of
+Figure 2 interacts with a condition through three questions only:
+
+* ``I in C``                           — membership of a full input vector;
+* ``P(J)  =  ∃ I ∈ C such that J ≤ I`` — can the view ``J`` be completed into
+  a vector of the condition? (line 6 of the algorithm);
+* ``h_l(J)``                           — the decoded values of a view
+  (Definition 4), used at line 6 to pick the value ``max(h_l(J))``.
+
+The module therefore defines the :class:`ConditionOracle` interface exposing
+exactly those questions, and two implementations:
+
+* :class:`ExplicitCondition` — a finite, enumerated set of vectors with an
+  attached recognizing function; every question is answered by scanning.
+* :class:`MaxLegalCondition` — the *maximal* (x, l)-legal condition generated
+  by ``max_l`` over a finite value domain (Theorem 2).  Its number of vectors
+  is exponential in ``n`` so it is never enumerated on the simulation path:
+  membership, the predicate ``P`` and the decoder are computed analytically.
+  (An :meth:`~MaxLegalCondition.enumerate_vectors` method exists for tests and
+  for the counting cross-checks on small domains.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from ..exceptions import (
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+)
+from .recognizing import MaxValues, RecognizingFunction, extend_to_view
+from .values import ValueDomain
+from .vectors import InputVector, View
+
+__all__ = ["ConditionOracle", "ExplicitCondition", "MaxLegalCondition"]
+
+
+class ConditionOracle:
+    """Interface between agreement algorithms and a condition.
+
+    Subclasses must implement :meth:`contains`, :meth:`is_compatible` and
+    :meth:`decode`; they must also report the degree ``l`` of the recognizing
+    function through :attr:`ell` (how many values a single vector may encode).
+    """
+
+    @property
+    def ell(self) -> int:
+        """The number ``l`` of values a vector of the condition may encode."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """A short human-readable description used in experiment tables."""
+        return type(self).__name__
+
+    def contains(self, vector: InputVector) -> bool:
+        """Membership test ``I ∈ C`` for a full input vector."""
+        raise NotImplementedError
+
+    def is_compatible(self, view: View) -> bool:
+        """The predicate ``P(J)``: is there ``I ∈ C`` with ``J ≤ I``?"""
+        raise NotImplementedError
+
+    def decode(self, view: View) -> frozenset[Any]:
+        """The decoded set ``h_l(J)`` of Definition 4.
+
+        Raises :class:`DecodingError` when ``P(J)`` does not hold.
+        """
+        raise NotImplementedError
+
+    def decode_max(self, view: View) -> Any:
+        """Convenience: ``max(h_l(J))``, the value used at line 6 of Figure 2."""
+        decoded = self.decode(view)
+        if not decoded:
+            raise DecodingError(f"the decoded set of {view!r} is empty")
+        return max(decoded)
+
+    def __contains__(self, vector: InputVector) -> bool:
+        return self.contains(vector)
+
+
+class ExplicitCondition(ConditionOracle):
+    """A finite condition given extensionally as a set of input vectors.
+
+    Parameters
+    ----------
+    vectors:
+        The input vectors of the condition.  They must all have the same size.
+    recognizer:
+        The recognizing function ``h_l`` attached to the condition.  It is
+        required by :meth:`decode`; membership and the predicate ``P`` work
+        without it.
+    name:
+        Optional human-readable name.
+    """
+
+    def __init__(
+        self,
+        vectors: Iterable[InputVector],
+        recognizer: RecognizingFunction | None = None,
+        name: str | None = None,
+    ) -> None:
+        frozen = frozenset(vectors)
+        if not frozen:
+            raise EmptyConditionError("an explicit condition needs at least one vector")
+        sizes = {len(v) for v in frozen}
+        if len(sizes) != 1:
+            raise InvalidVectorError(
+                f"all vectors of a condition must have the same size, got sizes {sorted(sizes)}"
+            )
+        for vector in frozen:
+            if not isinstance(vector, InputVector):
+                raise InvalidVectorError(
+                    f"conditions contain full input vectors, got {type(vector).__name__}"
+                )
+        self._vectors = frozen
+        self._n = next(iter(sizes))
+        self._recognizer = recognizer
+        self._name = name or f"explicit({len(frozen)} vectors)"
+
+    # -- basic container behaviour ---------------------------------------
+    @property
+    def vectors(self) -> frozenset[InputVector]:
+        """The vectors of the condition."""
+        return self._vectors
+
+    @property
+    def n(self) -> int:
+        """The size of the vectors (number of processes)."""
+        return self._n
+
+    @property
+    def recognizer(self) -> RecognizingFunction | None:
+        """The attached recognizing function, if any."""
+        return self._recognizer
+
+    @property
+    def ell(self) -> int:
+        if self._recognizer is None:
+            raise InvalidParameterError(
+                "this explicit condition has no recognizing function attached; "
+                "pass one to the constructor to use it with an algorithm"
+            )
+        return self._recognizer.ell
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __iter__(self) -> Iterator[InputVector]:
+        return iter(self._vectors)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ExplicitCondition):
+            return self._vectors == other._vectors
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._vectors)
+
+    def __repr__(self) -> str:
+        return f"ExplicitCondition(name={self._name!r}, size={len(self._vectors)})"
+
+    # -- oracle interface --------------------------------------------------
+    def contains(self, vector: InputVector) -> bool:
+        return vector in self._vectors
+
+    def vectors_containing(self, view: View) -> tuple[InputVector, ...]:
+        """All vectors ``I ∈ C`` such that ``J ≤ I``."""
+        return tuple(v for v in self._vectors if view.contained_in(v))
+
+    def is_compatible(self, view: View) -> bool:
+        return any(view.contained_in(v) for v in self._vectors)
+
+    def decode(self, view: View) -> frozenset[Any]:
+        if self._recognizer is None:
+            raise InvalidParameterError(
+                "cannot decode a view: this condition has no recognizing function"
+            )
+        return extend_to_view(self._recognizer, self._vectors, view)
+
+    # -- construction helpers ---------------------------------------------
+    def with_recognizer(self, recognizer: RecognizingFunction) -> "ExplicitCondition":
+        """Return the same condition with a (new) recognizing function attached."""
+        return ExplicitCondition(self._vectors, recognizer, self._name)
+
+    def union(self, other: "ExplicitCondition") -> "ExplicitCondition":
+        """Set union of two explicit conditions (recognizers are dropped)."""
+        if self._n != other._n:
+            raise InvalidVectorError("cannot unite conditions of different vector sizes")
+        return ExplicitCondition(self._vectors | other._vectors, None, f"{self._name} ∪ {other._name}")
+
+    def restrict(self, predicate) -> "ExplicitCondition":
+        """Keep only the vectors satisfying *predicate* (recognizer preserved)."""
+        kept = frozenset(v for v in self._vectors if predicate(v))
+        return ExplicitCondition(kept, self._recognizer, f"{self._name}|restricted")
+
+    def is_subset_of(self, other: "ExplicitCondition") -> bool:
+        """``True`` iff every vector of this condition belongs to *other*."""
+        return self._vectors <= other._vectors
+
+
+class MaxLegalCondition(ConditionOracle):
+    """The maximal (x, l)-legal condition generated by ``max_l`` (Theorem 2).
+
+    It contains every input vector over the value domain whose
+    ``min(l, |val(I)|)`` greatest values occupy strictly more than ``x``
+    entries.  For the consensus case ``l = 1`` this is the classical "the
+    greatest value appears more than x times" condition of
+    Mostéfaoui–Rajsbaum–Raynal.
+
+    Parameters
+    ----------
+    n:
+        System size (length of the vectors).
+    domain:
+        The finite ordered value domain (or an ``int`` m, shorthand for
+        ``ValueDomain(m)``).
+    x:
+        The legality parameter ``x`` (maximum number of tolerated missing
+        entries); for a synchronous system with at most ``t`` crashes and a
+        condition of degree ``d``, ``x = t − d``.
+    ell:
+        The degree ``l`` of the recognizing function ``max_l``.
+    """
+
+    def __init__(self, n: int, domain: ValueDomain | int, x: int, ell: int) -> None:
+        if isinstance(domain, int):
+            domain = ValueDomain(domain)
+        if not isinstance(n, int) or n < 1:
+            raise InvalidParameterError(f"system size n must be >= 1, got {n!r}")
+        if not isinstance(x, int) or x < 0:
+            raise InvalidParameterError(f"the legality parameter x must be >= 0, got {x!r}")
+        if x >= n:
+            raise InvalidParameterError(f"x must be smaller than n (got x={x}, n={n})")
+        if not isinstance(ell, int) or ell < 1:
+            raise InvalidParameterError(f"the degree l must be >= 1, got {ell!r}")
+        self._n = n
+        self._domain = domain
+        self._x = x
+        self._ell = ell
+        self._recognizer = MaxValues(ell)
+
+    # -- parameters ---------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """System size (vector length)."""
+        return self._n
+
+    @property
+    def domain(self) -> ValueDomain:
+        """The value domain over which the condition is defined."""
+        return self._domain
+
+    @property
+    def x(self) -> int:
+        """The legality parameter ``x``."""
+        return self._x
+
+    @property
+    def ell(self) -> int:
+        return self._ell
+
+    @property
+    def recognizer(self) -> MaxValues:
+        """The generating function ``max_l``."""
+        return self._recognizer
+
+    @property
+    def name(self) -> str:
+        return f"max_{self._ell}-legal(x={self._x}, n={self._n}, m={self._domain.size})"
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxLegalCondition(n={self._n}, m={self._domain.size}, "
+            f"x={self._x}, ell={self._ell})"
+        )
+
+    # -- membership ----------------------------------------------------------
+    def _check_vector(self, vector: View) -> None:
+        if len(vector) != self._n:
+            raise InvalidVectorError(
+                f"expected vectors of size {self._n}, got size {len(vector)}"
+            )
+        for value in vector.val():
+            if value not in self._domain:
+                raise InvalidVectorError(
+                    f"value {value!r} is outside the domain of this condition"
+                )
+
+    def contains(self, vector: InputVector) -> bool:
+        self._check_vector(vector)
+        top = vector.greatest_values(self._ell)
+        return vector.occurrences_of_set(top) > self._x
+
+    # -- the predicate P ------------------------------------------------------
+    def is_compatible(self, view: View) -> bool:
+        """``P(J)``: can the ⊥ entries of ``J`` be filled to reach the condition?
+
+        The most favourable completion fills every ⊥ entry with the greatest
+        value already present in ``J`` (introducing fresh greater values can
+        never increase the occupancy of the ``l`` greatest values, it can only
+        displace existing ones).  Hence ``P(J)`` holds iff
+
+        ``#_{max_l(J)}(J) + #_⊥(J) > x``.
+        """
+        self._check_vector(view)
+        bottoms = view.bottom_count()
+        if not view.val():
+            # An all-⊥ view can be completed into any constant vector, whose
+            # single value occupies all n > x entries.
+            return self._n > self._x
+        top = view.greatest_values(self._ell)
+        return view.occurrences_of_set(top) + bottoms > self._x
+
+    # -- the decoder (Definition 4, computed analytically) -------------------
+    def decode(self, view: View) -> frozenset[Any]:
+        """``h_l(J)``: the values decodable from every completion of ``J``.
+
+        A value ``v ∈ val(J)`` is *excluded* from the decoded set iff some
+        completion ``I ∈ C`` of ``J`` has at least ``l`` distinct values
+        greater than ``v`` (so that ``v ∉ max_l(I)``).  The most favourable
+        such completion introduces as few fresh values as possible (only the
+        ``max(0, l − g)`` needed, where ``g`` is the number of distinct values
+        of ``J`` greater than ``v``), keeps the largest existing values in the
+        top-``l`` set, and routes every remaining ⊥ entry to those top values
+        to maximise their occupancy.  ``v`` is excluded iff that completion
+        reaches the density threshold ``> x``.
+        """
+        self._check_vector(view)
+        if not self.is_compatible(view):
+            raise DecodingError(
+                f"view {view!r} is not compatible with {self.name}: P(J) is false"
+            )
+        values = view.val()
+        if not values:
+            # Definition 4 intersects with val(J): an all-⊥ view decodes to the
+            # empty set (the algorithms never reach this case because a process
+            # always sees at least its own proposal).
+            return frozenset()
+        bottoms = view.bottom_count()
+        decoded = frozenset(v for v in values if not self._excludable(view, v, bottoms))
+        return decoded
+
+    def _excludable(self, view: View, value: Any, bottoms: int) -> bool:
+        """Is there a completion of *view* in the condition whose top-l avoids *value*?"""
+        greater = sorted((u for u in view.val() if u > value), reverse=True)
+        g = len(greater)
+        fresh_needed = max(0, self._ell - g)
+        fresh_available = self._domain.count_greater_than(value) - g
+        if fresh_needed > min(bottoms, fresh_available):
+            return False
+        kept = greater[: self._ell - fresh_needed]
+        occupancy = view.occurrences_of_set(kept) + bottoms
+        return occupancy > self._x
+
+    # -- enumeration (tests and counting cross-checks only) -------------------
+    def enumerate_vectors(self) -> Iterator[InputVector]:
+        """Yield every vector of the condition (exponential; small n, m only)."""
+        yield from self._enumerate(0, [])
+
+    def _enumerate(self, index: int, prefix: list[Any]) -> Iterator[InputVector]:
+        if index == self._n:
+            vector = InputVector(prefix)
+            if self.contains(vector):
+                yield vector
+            return
+        for value in self._domain:
+            prefix.append(value)
+            yield from self._enumerate(index + 1, prefix)
+            prefix.pop()
+
+    def to_explicit(self) -> ExplicitCondition:
+        """Materialise the condition as an :class:`ExplicitCondition`.
+
+        Only meaningful for small ``n`` and ``m`` (the size grows as ``m**n``).
+        The returned condition carries the ``max_l`` recognizer, so it can be
+        used interchangeably with the implicit oracle in tests.
+        """
+        return ExplicitCondition(self.enumerate_vectors(), self._recognizer, self.name)
+
+    def size(self) -> int:
+        """Exact number of vectors, via the closed form of Theorems 3 / 13."""
+        # Imported lazily to avoid a circular import at module load time.
+        from .counting import max_condition_size
+
+        return max_condition_size(self._n, self._domain.size, self._x, self._ell)

@@ -1,0 +1,204 @@
+"""The hierarchies of condition classes (Sections 3 and 5).
+
+Two views of the same structure are provided:
+
+* :class:`LegalityClass` — the set of all (x, l)-legal conditions, the nodes
+  of Figure 1.  The class inclusion order follows Theorems 4 and 6:
+  ``(x, l)``-legal conditions are also ``(x', l')``-legal whenever
+  ``x' <= x`` and ``l' >= l``; the inclusions are strict (Theorems 5, 7, 14
+  and 15).  The all-vectors condition belongs to the class iff ``l > x``
+  (Theorems 8 and 9).
+
+* :class:`SynchronousClass` — the set ``S^d_t[l]`` of Section 5, i.e. the
+  (t−d, l)-legal conditions, annotated with the synchronous round bounds of
+  Section 6: the condition-based algorithm instantiated with a condition of
+  this class solves k-set agreement in at most ``⌊(d+l−1)/k⌋ + 1`` rounds when
+  the input vector belongs to the condition (2 rounds if at most ``t−d``
+  processes crash in the first round) and ``⌊t/k⌋ + 1`` rounds otherwise.
+
+The functions :func:`hierarchy_fixed_ell` and :func:`hierarchy_fixed_d`
+materialise the two hierarchies displayed in Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "LegalityClass",
+    "SynchronousClass",
+    "hierarchy_fixed_ell",
+    "hierarchy_fixed_d",
+    "rounds_in_condition",
+    "rounds_outside_condition",
+]
+
+
+def rounds_in_condition(d: int, ell: int, k: int) -> int:
+    """Worst-case decision round when the input vector belongs to the condition.
+
+    ``max(2, ⌊(d + l − 1)/k⌋ + 1)`` — see Theorem 10 and DESIGN.md for the
+    reconstruction of the formula.  The ``max(2, ...)`` accounts for the fact
+    that the algorithm always needs a second round to disseminate the values
+    extracted from the condition (a process never decides during round 1).
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if ell < 1:
+        raise InvalidParameterError(f"l must be >= 1, got {ell}")
+    if d < 0:
+        raise InvalidParameterError(f"d must be >= 0, got {d}")
+    return max(2, (d + ell - 1) // k + 1)
+
+
+def rounds_outside_condition(t: int, k: int) -> int:
+    """Worst-case decision round when the input vector is outside the condition.
+
+    ``max(2, ⌊t/k⌋ + 1)`` — the classical synchronous k-set agreement bound,
+    with the same two-round floor as :func:`rounds_in_condition` (the
+    algorithm of Figure 2 runs its dedicated condition round first).
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if t < 0:
+        raise InvalidParameterError(f"t must be >= 0, got {t}")
+    return max(2, t // k + 1)
+
+
+@dataclass(frozen=True, order=True)
+class LegalityClass:
+    """The set of all (x, l)-legal conditions — a node of Figure 1."""
+
+    x: int
+    ell: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0:
+            raise InvalidParameterError(f"x must be >= 0, got {self.x}")
+        if self.ell < 1:
+            raise InvalidParameterError(f"l must be >= 1, got {self.ell}")
+
+    # -- inclusion order ----------------------------------------------------
+    def is_subclass_of(self, other: "LegalityClass") -> bool:
+        """``True`` iff every (x, l)-legal condition is (other.x, other.ell)-legal.
+
+        By Theorems 4 and 6 this holds iff ``other.x <= x`` and
+        ``other.ell >= ell``; Theorems 5, 7, 14 and 15 show the inclusion is
+        strict whenever the pairs differ.
+        """
+        return other.x <= self.x and other.ell >= self.ell
+
+    def includes(self, other: "LegalityClass") -> bool:
+        """``True`` iff this class contains every condition of *other*."""
+        return other.is_subclass_of(self)
+
+    def is_comparable_with(self, other: "LegalityClass") -> bool:
+        """``True`` iff the two classes are ordered one way or the other."""
+        return self.is_subclass_of(other) or other.is_subclass_of(self)
+
+    # -- distinguished members ------------------------------------------------
+    def contains_all_vectors_condition(self) -> bool:
+        """Does the class contain the condition made of *all* input vectors?
+
+        Theorem 8 (if ``l > x``) and Theorem 9 (only if ``l > x``).
+        """
+        return self.ell > self.x
+
+    def allows_asynchronous_solvability(self) -> bool:
+        """Sufficient condition for asynchronous l-set agreement (Section 4).
+
+        An (x, l)-legal condition allows solving l-set agreement in an
+        asynchronous system with up to ``x`` crashes.  (Necessity is the
+        paper's open problem.)
+        """
+        return True
+
+    def label(self) -> str:
+        """Compact label used by the lattice rendering."""
+        return f"[{self.x},{self.ell}]"
+
+
+@dataclass(frozen=True)
+class SynchronousClass:
+    """The class ``S^d_t[l]`` of Section 5: the (t − d, l)-legal conditions."""
+
+    t: int
+    d: int
+    ell: int
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise InvalidParameterError(f"t must be >= 0, got {self.t}")
+        if not 0 <= self.d <= self.t:
+            raise InvalidParameterError(
+                f"the degree d must satisfy 0 <= d <= t, got d={self.d}, t={self.t}"
+            )
+        if self.ell < 1:
+            raise InvalidParameterError(f"l must be >= 1, got {self.ell}")
+
+    @property
+    def x(self) -> int:
+        """The legality parameter ``x = t − d``."""
+        return self.t - self.d
+
+    @property
+    def difficulty(self) -> int:
+        """The paper calls ``t − d`` the *difficulty* of the condition class."""
+        return self.t - self.d
+
+    def legality_class(self) -> LegalityClass:
+        """The underlying (x, l) legality class."""
+        return LegalityClass(self.x, self.ell)
+
+    def is_subclass_of(self, other: "SynchronousClass") -> bool:
+        """Class inclusion within the same synchronous system (same ``t``)."""
+        if self.t != other.t:
+            raise InvalidParameterError(
+                "synchronous classes of different systems (different t) are not comparable"
+            )
+        return self.legality_class().is_subclass_of(other.legality_class())
+
+    def contains_all_vectors_condition(self) -> bool:
+        """``C_all ∈ S^d_t[l]`` iff ``l > t − d`` (Theorems 8 and 9)."""
+        return self.legality_class().contains_all_vectors_condition()
+
+    # -- round bounds of the Figure 2 algorithm --------------------------------
+    def supports_k(self, k: int) -> bool:
+        """Can the Figure 2 algorithm benefit from this class for k-set agreement?
+
+        Section 6.1: the algorithm needs ``l <= k`` (otherwise the condition
+        is useless for k-set agreement) and ``l <= t − d`` (otherwise the
+        class already contains the all-vectors condition and the classical
+        bound applies anyway).
+        """
+        return self.ell <= k and self.ell <= self.t - self.d
+
+    def rounds_in_condition(self, k: int) -> int:
+        """Worst-case rounds when the input vector belongs to the condition."""
+        return rounds_in_condition(self.d, self.ell, k)
+
+    def rounds_outside_condition(self, k: int) -> int:
+        """Worst-case rounds when the input vector is outside the condition."""
+        return rounds_outside_condition(self.t, k)
+
+    def rounds_fast_path(self) -> int:
+        """Rounds when the input is in the condition and at most t−d crashes occur."""
+        return 2
+
+    def label(self) -> str:
+        """Compact label (``S^d_t[l]``) used in experiment tables."""
+        return f"S^{self.d}_{self.t}[{self.ell}]"
+
+
+def hierarchy_fixed_ell(t: int, ell: int) -> list[SynchronousClass]:
+    """The hierarchy ``S^0_t[l] ⊂ S^1_t[l] ⊂ ... ⊂ S^t_t[l]`` (Section 5, l fixed)."""
+    return [SynchronousClass(t, d, ell) for d in range(0, t + 1)]
+
+
+def hierarchy_fixed_d(t: int, d: int, max_ell: int) -> list[SynchronousClass]:
+    """The hierarchy ``S^d_t[1] ⊂ S^d_t[2] ⊂ ...`` (Section 5, d fixed)."""
+    if max_ell < 1:
+        raise InvalidParameterError(f"max_ell must be >= 1, got {max_ell}")
+    return [SynchronousClass(t, d, ell) for ell in range(1, max_ell + 1)]

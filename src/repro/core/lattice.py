@@ -1,0 +1,196 @@
+"""The (x, l) lattice of Figure 1, as a graph and as printable artifacts.
+
+Figure 1 of the paper depicts, for ``0 <= x <= n − 1`` and ``1 <= l <= n − 1``,
+the sets of (x, l)-legal conditions and the inclusion arrows between them:
+
+* vertical arrows  ``(x+1, l)  →  (x, l)``   (Theorems 4 and 5);
+* horizontal arrows ``(x, l)   →  (x, l+1)`` (Theorems 6 and 7);
+* the hatched region ``l > x`` where the class contains the condition made of
+  all input vectors (Theorems 8 and 9) — the condition-based rephrasing of the
+  impossibility of asynchronous l-set agreement with ``l <= x`` crashes;
+* three distinguished lines: the *wait-free* line ``x = n − 1``, the
+  *x-resilience* line (a generic horizontal line) and the *reliable* line
+  ``x = 0``.
+
+This module rebuilds that picture as a :class:`networkx.DiGraph` whose nodes
+are :class:`~repro.core.hierarchy.LegalityClass` instances, and renders it as
+an ASCII matrix or a Graphviz DOT document (the benchmark E2 prints both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..exceptions import InvalidParameterError
+from .hierarchy import LegalityClass
+
+__all__ = ["ConditionLattice", "LatticeCell"]
+
+
+@dataclass(frozen=True)
+class LatticeCell:
+    """One cell of the rendered Figure 1 matrix."""
+
+    legality_class: LegalityClass
+    contains_all_vectors: bool
+    on_wait_free_line: bool
+    on_reliable_line: bool
+
+
+class ConditionLattice:
+    """The lattice of (x, l)-legality classes for an ``n``-process system.
+
+    Parameters
+    ----------
+    n:
+        The system size; the lattice covers ``0 <= x <= n − 1`` and
+        ``1 <= l <= n − 1`` as in Figure 1.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise InvalidParameterError(f"the lattice needs n >= 2 processes, got {n}")
+        self._n = n
+        self._graph = self._build_graph()
+
+    @property
+    def n(self) -> int:
+        """The system size the lattice was built for."""
+        return self._n
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying DAG (edges follow class inclusion, cover relations only)."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_graph(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        for x in range(0, self._n):
+            for ell in range(1, self._n):
+                node = LegalityClass(x, ell)
+                graph.add_node(
+                    node,
+                    contains_all_vectors=node.contains_all_vectors_condition(),
+                    wait_free=(x == self._n - 1),
+                    reliable=(x == 0),
+                )
+        for x in range(0, self._n):
+            for ell in range(1, self._n):
+                node = LegalityClass(x, ell)
+                if x + 1 <= self._n - 1:
+                    # Theorem 4: (x+1, l)-legal ⟹ (x, l)-legal.
+                    graph.add_edge(LegalityClass(x + 1, ell), node, kind="relax_x")
+                if ell + 1 <= self._n - 1:
+                    # Theorem 6: (x, l)-legal ⟹ (x, l+1)-legal.
+                    graph.add_edge(node, LegalityClass(x, ell + 1), kind="relax_ell")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def classes(self) -> list[LegalityClass]:
+        """All classes of the lattice, ordered by (x, l)."""
+        return sorted(self._graph.nodes)
+
+    def cell(self, x: int, ell: int) -> LatticeCell:
+        """The rendered-cell description of class (x, l)."""
+        node = LegalityClass(x, ell)
+        if node not in self._graph:
+            raise InvalidParameterError(
+                f"class ({x}, {ell}) is outside the lattice for n={self._n}"
+            )
+        data = self._graph.nodes[node]
+        return LatticeCell(
+            legality_class=node,
+            contains_all_vectors=data["contains_all_vectors"],
+            on_wait_free_line=data["wait_free"],
+            on_reliable_line=data["reliable"],
+        )
+
+    def includes(self, smaller: LegalityClass, larger: LegalityClass) -> bool:
+        """Is every condition of *smaller* also in *larger*? (reachability check).
+
+        The reachability answer coincides with the closed-form order of
+        :meth:`LegalityClass.is_subclass_of`; the test suite asserts the
+        equivalence, which validates that the cover edges generate the whole
+        order of Figure 1.
+        """
+        if smaller == larger:
+            return True
+        return nx.has_path(self._graph, smaller, larger)
+
+    def chain_fixed_ell(self, ell: int) -> list[LegalityClass]:
+        """The maximal chain with fixed ``l`` (decreasing difficulty ``x``)."""
+        return [LegalityClass(x, ell) for x in range(self._n - 1, -1, -1)]
+
+    def chain_fixed_x(self, x: int) -> list[LegalityClass]:
+        """The maximal chain with fixed ``x`` (increasing ``l``)."""
+        return [LegalityClass(x, ell) for ell in range(1, self._n)]
+
+    def all_vectors_frontier(self) -> list[LegalityClass]:
+        """The classes on the boundary ``l = x + 1`` (smallest l containing C_all)."""
+        return [
+            LegalityClass(x, x + 1)
+            for x in range(0, self._n - 1)
+            if x + 1 <= self._n - 1
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def ascii_matrix(self) -> str:
+        """Figure 1 as a text matrix.
+
+        Rows are ``x`` from ``n − 1`` (top, wait-free line) down to ``0``
+        (reliable line); columns are ``l`` from 1 to ``n − 1``.  A cell shows
+        ``*`` when the class contains the all-vectors condition (``l > x``)
+        and ``.`` otherwise.
+        """
+        header_cells = [f"l={ell}" for ell in range(1, self._n)]
+        width = max(len(cell) for cell in header_cells) + 1
+        lines = ["x\\l |" + "".join(cell.rjust(width) for cell in header_cells)]
+        lines.append("-" * len(lines[0]))
+        for x in range(self._n - 1, -1, -1):
+            row = [f"{x:>3} |"]
+            for ell in range(1, self._n):
+                marker = "*" if ell > x else "."
+                row.append(marker.rjust(width))
+            suffix = ""
+            if x == self._n - 1:
+                suffix = "   <- wait-free line"
+            elif x == 0:
+                suffix = "   <- reliable line"
+            lines.append("".join(row) + suffix)
+        lines.append("")
+        lines.append("* : the class contains the condition made of all input vectors (l > x)")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Figure 1 as a Graphviz DOT document (inclusion cover edges)."""
+        lines = ["digraph condition_lattice {", "  rankdir=BT;"]
+        for node in self.classes():
+            attributes = []
+            if self._graph.nodes[node]["contains_all_vectors"]:
+                attributes.append('style=filled, fillcolor="lightgrey"')
+            label = node.label().replace('"', "'")
+            attributes.append(f'label="{label}"')
+            lines.append(f'  "{node.label()}" [{", ".join(attributes)}];')
+        for source, target, data in self._graph.edges(data=True):
+            style = "solid" if data["kind"] == "relax_x" else "dashed"
+            lines.append(f'  "{source.label()}" -> "{target.label()}" [style={style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def inclusion_matrix(self) -> dict[tuple[LegalityClass, LegalityClass], bool]:
+        """Pairwise inclusion table over every pair of classes (used by E2)."""
+        classes = self.classes()
+        return {
+            (smaller, larger): self.includes(smaller, larger)
+            for smaller in classes
+            for larger in classes
+        }

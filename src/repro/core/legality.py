@@ -1,0 +1,306 @@
+"""(x, l)-legality checking (Definition 2) and recognizer search.
+
+The module provides two levels of service:
+
+* **Verification** — given a condition *and* a candidate recognizing function,
+  check the validity, density and distance properties and report the first
+  violation with its witnesses (:func:`check_legality`).
+* **Search** — given only a condition, decide whether *some* recognizing
+  function makes it (x, l)-legal by exhaustive backtracking over the possible
+  value assignments (:func:`find_recognizing_function`, :func:`is_legal`).
+  This is exponential in the number of vectors and values, and is meant for
+  the small hand-built conditions of the paper (Table 1, the counterexamples
+  of Theorems 5, 7, 14 and 15) and for property tests.
+
+The distance property quantifies over every subset of vectors of the
+condition; its cost is exponential in the condition size.  All functions
+accept a ``max_subset_size`` bound for use on larger conditions, in which case
+the verification is *sound for violations* (a reported violation is real) but
+only exhaustive up to that subset size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Iterable, Sequence
+
+from ..exceptions import InvalidParameterError
+from .conditions import ExplicitCondition
+from .recognizing import MappingRecognizer, RecognizingFunction
+from .vectors import InputVector, generalized_distance, intersecting_values
+
+__all__ = [
+    "LegalityViolation",
+    "LegalityReport",
+    "check_validity",
+    "check_density",
+    "check_distance",
+    "check_legality",
+    "find_recognizing_function",
+    "is_legal",
+]
+
+
+@dataclass(frozen=True)
+class LegalityViolation:
+    """A single violation of one of the three legality properties."""
+
+    #: Which property failed: ``"validity"``, ``"density"`` or ``"distance"``.
+    property_name: str
+    #: The vectors witnessing the violation.
+    vectors: tuple[InputVector, ...]
+    #: Human-readable explanation.
+    detail: str
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of a legality check.
+
+    The report is truthy iff the condition satisfied every checked property.
+    """
+
+    x: int
+    ell: int
+    legal: bool
+    violations: list[LegalityViolation] = field(default_factory=list)
+    #: Subset size up to which the distance property was checked (None = all).
+    checked_subset_size: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.legal
+
+    def first_violation(self) -> LegalityViolation | None:
+        """The first recorded violation, or ``None``."""
+        return self.violations[0] if self.violations else None
+
+    def summary(self) -> str:
+        """One-line description suitable for experiment tables."""
+        if self.legal:
+            return f"({self.x}, {self.ell})-legal"
+        violation = self.first_violation()
+        assert violation is not None
+        return f"not ({self.x}, {self.ell})-legal: {violation.property_name} fails"
+
+
+def _as_vectors(condition: ExplicitCondition | Iterable[InputVector]) -> tuple[InputVector, ...]:
+    if isinstance(condition, ExplicitCondition):
+        return tuple(condition.vectors)
+    return tuple(condition)
+
+
+def check_validity(
+    condition: ExplicitCondition | Iterable[InputVector],
+    recognizer: RecognizingFunction,
+    ell: int,
+) -> list[LegalityViolation]:
+    """Check the (x, l)-validity property for every vector of the condition."""
+    violations = []
+    for vector in _as_vectors(condition):
+        decoded = recognizer.decode_vector(vector)
+        values = vector.val()
+        if not decoded <= values:
+            violations.append(
+                LegalityViolation(
+                    "validity",
+                    (vector,),
+                    f"h_l({vector!r}) = {sorted(decoded, key=repr)} contains values "
+                    "absent from the vector",
+                )
+            )
+        elif len(decoded) != min(ell, len(values)):
+            violations.append(
+                LegalityViolation(
+                    "validity",
+                    (vector,),
+                    f"|h_l(I)| = {len(decoded)} but min(l, |val(I)|) = "
+                    f"{min(ell, len(values))}",
+                )
+            )
+    return violations
+
+
+def check_density(
+    condition: ExplicitCondition | Iterable[InputVector],
+    recognizer: RecognizingFunction,
+    x: int,
+) -> list[LegalityViolation]:
+    """Check the (x, l)-density property for every vector of the condition."""
+    violations = []
+    for vector in _as_vectors(condition):
+        decoded = recognizer.decode_vector(vector)
+        occupancy = vector.occurrences_of_set(decoded)
+        if occupancy <= x:
+            violations.append(
+                LegalityViolation(
+                    "density",
+                    (vector,),
+                    f"the decoded values occupy {occupancy} entries, not more than x={x}",
+                )
+            )
+    return violations
+
+
+def _distance_holds(
+    subset: Sequence[InputVector],
+    recognizer: RecognizingFunction,
+    x: int,
+) -> tuple[bool, str]:
+    """Check the distance inequality for one particular subset of vectors.
+
+    The property constrains the subsets whose generalized distance is
+    ``x − α`` for ``0 <= α < x`` (the case ``α = x``, i.e. identical vectors,
+    is the density property — footnote 4 of the paper): whenever
+    ``1 <= d_G <= x`` the intersecting vector must carry strictly more than
+    ``x − d_G`` entries with values common to every ``h_l(I_j)``.
+    """
+    distance = generalized_distance(subset)
+    alpha = x - distance
+    if alpha < 0 or alpha >= x:
+        # d_G > x (no constraint) or d_G = 0 (identical vectors: density case).
+        return True, ""
+    decoded_sets = [recognizer.decode_vector(v) for v in subset]
+    common_decoded = frozenset.intersection(*decoded_sets)
+    shared_values = intersecting_values(subset)
+    occupancy = sum(1 for value in shared_values if value in common_decoded)
+    if occupancy > alpha:
+        return True, ""
+    return (
+        False,
+        f"d_G = {distance} = x − {alpha} but the intersecting vector carries only "
+        f"{occupancy} entries with values of ∩ h_l (needs > {alpha})",
+    )
+
+
+def check_distance(
+    condition: ExplicitCondition | Iterable[InputVector],
+    recognizer: RecognizingFunction,
+    x: int,
+    max_subset_size: int | None = None,
+    stop_at_first: bool = False,
+) -> list[LegalityViolation]:
+    """Check the (x, l)-distance property over subsets of the condition.
+
+    Parameters
+    ----------
+    max_subset_size:
+        Upper bound on the size of the checked subsets (default: the whole
+        condition).  Size-1 subsets are skipped: the paper keeps that case in
+        the density property.
+    stop_at_first:
+        Return as soon as one violation is found.
+    """
+    vectors = _as_vectors(condition)
+    limit = len(vectors) if max_subset_size is None else min(max_subset_size, len(vectors))
+    violations: list[LegalityViolation] = []
+    for size in range(2, limit + 1):
+        for subset in combinations(vectors, size):
+            holds, detail = _distance_holds(subset, recognizer, x)
+            if not holds:
+                violations.append(LegalityViolation("distance", subset, detail))
+                if stop_at_first:
+                    return violations
+    return violations
+
+
+def check_legality(
+    condition: ExplicitCondition | Iterable[InputVector],
+    recognizer: RecognizingFunction,
+    x: int,
+    ell: int | None = None,
+    max_subset_size: int | None = None,
+) -> LegalityReport:
+    """Full (x, l)-legality verification of a condition with a given recognizer."""
+    if ell is None:
+        ell = recognizer.ell
+    if ell < 1:
+        raise InvalidParameterError(f"the degree l must be >= 1, got {ell}")
+    violations = []
+    violations.extend(check_validity(condition, recognizer, ell))
+    violations.extend(check_density(condition, recognizer, x))
+    violations.extend(check_distance(condition, recognizer, x, max_subset_size))
+    return LegalityReport(
+        x=x,
+        ell=ell,
+        legal=not violations,
+        violations=violations,
+        checked_subset_size=max_subset_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive recognizer search
+# ----------------------------------------------------------------------
+def _candidate_assignments(vector: InputVector, x: int, ell: int) -> list[frozenset[Any]]:
+    """All value sets satisfying validity + density for a single vector."""
+    values = sorted(vector.val(), key=repr)
+    size = min(ell, len(values))
+    candidates = []
+    for subset in combinations(values, size):
+        decoded = frozenset(subset)
+        if vector.occurrences_of_set(decoded) > x:
+            candidates.append(decoded)
+    return candidates
+
+
+def find_recognizing_function(
+    condition: ExplicitCondition | Iterable[InputVector],
+    x: int,
+    ell: int,
+    max_subset_size: int | None = None,
+) -> MappingRecognizer | None:
+    """Search for an (x, l)-recognizing function for *condition*.
+
+    Returns a :class:`MappingRecognizer` witnessing legality, or ``None`` when
+    no recognizing function exists (the condition is not (x, l)-legal, at
+    least with respect to subsets of size up to ``max_subset_size``).
+
+    The search is a straightforward backtracking over per-vector candidate
+    value sets (those satisfying validity and density), pruned by checking the
+    distance property incrementally on every subset that becomes fully
+    assigned.  It is intended for the paper's small hand-built conditions.
+    """
+    vectors = _as_vectors(condition)
+    candidates = [_candidate_assignments(vector, x, ell) for vector in vectors]
+    if any(not options for options in candidates):
+        return None
+    limit = len(vectors) if max_subset_size is None else min(max_subset_size, len(vectors))
+
+    assignment: dict[InputVector, frozenset[Any]] = {}
+
+    def consistent_with_new(index: int) -> bool:
+        """Check all distance constraints among subsets including vector *index*."""
+        recognizer = MappingRecognizer(ell, assignment)
+        assigned = vectors[: index + 1]
+        newest = vectors[index]
+        for size in range(2, min(limit, len(assigned)) + 1):
+            for subset in combinations(assigned[:-1], size - 1):
+                holds, _ = _distance_holds((*subset, newest), recognizer, x)
+                if not holds:
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(vectors):
+            return True
+        for option in candidates[index]:
+            assignment[vectors[index]] = option
+            if consistent_with_new(index) and backtrack(index + 1):
+                return True
+            del assignment[vectors[index]]
+        return False
+
+    if backtrack(0):
+        return MappingRecognizer(ell, assignment)
+    return None
+
+
+def is_legal(
+    condition: ExplicitCondition | Iterable[InputVector],
+    x: int,
+    ell: int,
+    max_subset_size: int | None = None,
+) -> bool:
+    """``True`` iff *condition* is (x, l)-legal (by exhaustive recognizer search)."""
+    return find_recognizing_function(condition, x, ell, max_subset_size) is not None

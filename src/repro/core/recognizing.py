@@ -1,0 +1,223 @@
+"""Recognizing functions ``h_l`` (Definitions 2–4 of the paper).
+
+An (x, l)-legal condition is witnessed by a *recognizing function* ``h_l``
+that maps each input vector of the condition to the (at most ``l``) values
+that can be decided from it.  The canonical recognizing functions of the paper
+are ``max_l`` (the ``l`` greatest values of the vector, Section 2.3) and its
+mirror ``min_l``.
+
+The module also implements the extension of a recognizing function to *views*
+(Definition 4): given a view ``J`` with at most ``x`` missing entries,
+
+.. math::
+
+   h_l(J) = \\bigcap_{I \\in C,\\ J \\le I} h_l(I) \\ \\cap\\ val(J)
+
+which Theorem 1 guarantees to be non-empty when the condition is (x, l)-legal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from ..exceptions import DecodingError, InvalidParameterError, InvalidVectorError
+from .vectors import InputVector, View
+
+__all__ = [
+    "RecognizingFunction",
+    "MaxValues",
+    "MinValues",
+    "MappingRecognizer",
+    "FunctionRecognizer",
+    "extend_to_view",
+]
+
+
+class RecognizingFunction:
+    """Abstract recognizing function ``h_l``.
+
+    Subclasses implement :meth:`decode_vector`, returning the frozenset of
+    values ``h_l(I)`` for a full input vector ``I``.  The function degree
+    ``l`` bounds the size of the returned set: the validity property of
+    Definition 2 requires ``|h_l(I)| = min(l, |val(I)|)``.
+    """
+
+    def __init__(self, ell: int) -> None:
+        if not isinstance(ell, int) or ell < 1:
+            raise InvalidParameterError(f"the degree l of a recognizing function must be >= 1, got {ell!r}")
+        self._ell = ell
+
+    @property
+    def ell(self) -> int:
+        """The degree ``l`` (maximum number of decoded values)."""
+        return self._ell
+
+    def decode_vector(self, vector: InputVector) -> frozenset[Any]:
+        """Return ``h_l(I)`` for a full input vector ``I``."""
+        raise NotImplementedError
+
+    def __call__(self, vector: InputVector) -> frozenset[Any]:
+        return self.decode_vector(vector)
+
+    # Helpers shared by legality checkers -----------------------------------
+    def satisfies_validity(self, vector: InputVector) -> bool:
+        """Check the (x, l)-validity property on a single vector.
+
+        ``h_l(I) ⊆ val(I)`` and ``|h_l(I)| = min(l, |val(I)|)``.
+        """
+        decoded = self.decode_vector(vector)
+        values = vector.val()
+        return decoded <= values and len(decoded) == min(self._ell, len(values))
+
+    def satisfies_density(self, vector: InputVector, x: int) -> bool:
+        """Check the (x, l)-density property on a single vector.
+
+        The values of ``h_l(I)`` must occupy strictly more than ``x`` entries
+        of ``I``.
+        """
+        decoded = self.decode_vector(vector)
+        return vector.occurrences_of_set(decoded) > x
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(ell={self._ell})"
+
+
+class MaxValues(RecognizingFunction):
+    """``max_l``: the ``min(l, |val(I)|)`` greatest values of the vector.
+
+    Section 2.3 of the paper shows that ``max_l`` generates a maximal
+    (x, l)-legal condition (Theorem 2): the condition made of every vector
+    whose ``l`` greatest values occupy more than ``x`` entries.
+    """
+
+    def decode_vector(self, vector: InputVector) -> frozenset[Any]:
+        return frozenset(vector.greatest_values(self.ell))
+
+
+class MinValues(RecognizingFunction):
+    """``min_l``: the ``min(l, |val(I)|)`` smallest values of the vector.
+
+    The paper notes that every statement about ``max_l`` remains true with
+    ``min_l``; the class exists so that tests can exercise that symmetry.
+    """
+
+    def decode_vector(self, vector: InputVector) -> frozenset[Any]:
+        return frozenset(vector.smallest_values(self.ell))
+
+
+class MappingRecognizer(RecognizingFunction):
+    """A recognizing function given extensionally, as a vector -> values table.
+
+    This is the representation used by the exhaustive legality search
+    (:func:`repro.core.legality.find_recognizing_function`) and by the paper's
+    hand-built examples (e.g. Table 1, where ``h_1(I_1) = {a}`` etc.).
+    """
+
+    def __init__(self, ell: int, table: Mapping[InputVector, Iterable[Any]]) -> None:
+        super().__init__(ell)
+        frozen: dict[InputVector, frozenset[Any]] = {}
+        for vector, values in table.items():
+            if not isinstance(vector, InputVector):
+                raise InvalidVectorError(
+                    f"MappingRecognizer keys must be input vectors, got {type(vector).__name__}"
+                )
+            decoded = frozenset(values)
+            if len(decoded) > ell:
+                raise InvalidParameterError(
+                    f"h_l({vector!r}) has {len(decoded)} values but l={ell}"
+                )
+            frozen[vector] = decoded
+        self._table = frozen
+
+    @property
+    def table(self) -> Mapping[InputVector, frozenset[Any]]:
+        """The underlying vector -> decoded-values table."""
+        return dict(self._table)
+
+    def decode_vector(self, vector: InputVector) -> frozenset[Any]:
+        try:
+            return self._table[vector]
+        except KeyError:
+            raise DecodingError(
+                f"vector {vector!r} is not in the domain of this recognizing function"
+            ) from None
+
+    def domain(self) -> frozenset[InputVector]:
+        """The vectors on which the function is defined."""
+        return frozenset(self._table)
+
+
+class FunctionRecognizer(RecognizingFunction):
+    """Wrap an arbitrary callable ``I -> iterable of values`` as a recognizer."""
+
+    def __init__(self, ell: int, function: Callable[[InputVector], Iterable[Any]], name: str | None = None) -> None:
+        super().__init__(ell)
+        self._function = function
+        self._name = name or getattr(function, "__name__", "custom")
+
+    def decode_vector(self, vector: InputVector) -> frozenset[Any]:
+        decoded = frozenset(self._function(vector))
+        if len(decoded) > self.ell:
+            raise DecodingError(
+                f"custom recognizer {self._name!r} returned {len(decoded)} values "
+                f"for a degree-{self.ell} function"
+            )
+        return decoded
+
+    def __repr__(self) -> str:
+        return f"FunctionRecognizer(ell={self.ell}, name={self._name!r})"
+
+
+def extend_to_view(
+    recognizer: RecognizingFunction,
+    condition_vectors: Iterable[InputVector],
+    view: View,
+    x: int | None = None,
+) -> frozenset[Any]:
+    """Extension of ``h_l`` to a view ``J`` (Definition 4).
+
+    Parameters
+    ----------
+    recognizer:
+        The recognizing function ``h_l`` of the condition.
+    condition_vectors:
+        The vectors of the condition ``C`` (only those containing ``J`` are
+        used).
+    view:
+        The view ``J`` to decode.
+    x:
+        When given, the number of ⊥ entries of ``J`` is checked against ``x``
+        (Theorem 1 guarantees a non-empty result only for ``#_⊥(J) ≤ x``).
+
+    Returns
+    -------
+    frozenset
+        ``h_l(J) = ∩_{I ∈ C, J ≤ I} h_l(I) ∩ val(J)``.
+
+    Raises
+    ------
+    DecodingError
+        If no vector of the condition contains ``J`` (the extension is
+        undefined), or if *x* is given and ``J`` has more than ``x`` missing
+        entries.
+    """
+    if x is not None and view.bottom_count() > x:
+        raise DecodingError(
+            f"view has {view.bottom_count()} ⊥ entries, more than x={x}: "
+            "Definition 4 does not apply"
+        )
+    intersection: frozenset[Any] | None = None
+    found = False
+    for vector in condition_vectors:
+        if not view.contained_in(vector):
+            continue
+        found = True
+        decoded = recognizer.decode_vector(vector)
+        intersection = decoded if intersection is None else intersection & decoded
+        if not intersection:
+            break
+    if not found:
+        raise DecodingError("no vector of the condition contains the given view")
+    assert intersection is not None
+    return intersection & view.val()

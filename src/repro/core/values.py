@@ -1,0 +1,188 @@
+"""Value domain and the bottom placeholder.
+
+The paper works with an arbitrary totally ordered set ``V`` of proposable
+values and a default value (written ``⊥`` in the paper) that no process can
+propose and that is *smaller than every proposable value*.  The ordering
+matters because the algorithm of Figure 2 breaks symmetry with ``max`` and the
+canonical recognizing function is ``max_l`` (the ``l`` greatest values of a
+vector).
+
+This module provides:
+
+* :data:`BOTTOM` — the unique bottom placeholder, comparable with (and smaller
+  than) every value;
+* :class:`ValueDomain` — a finite, totally ordered domain ``{1, ..., m}`` of
+  proposable values, used by condition generators, counting formulas and
+  workload generators.
+
+Values themselves are plain Python objects (usually ``int``); the library only
+requires them to be hashable and mutually comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Bottom", "BOTTOM", "is_bottom", "ValueDomain"]
+
+
+class Bottom:
+    """The default placeholder value, written ``⊥`` in the paper.
+
+    It denotes "this process took no step" in a view of the input vector.  It
+    compares smaller than every other value so that expressions such as
+    ``max(v_cond_j received)`` used by the algorithm of Figure 2 behave exactly
+    as in the paper (``⊥ < v`` for every proposable value ``v``).
+
+    The class is a singleton: every instantiation returns :data:`BOTTOM`.
+    """
+
+    _instance: "Bottom | None" = None
+
+    __slots__ = ()
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __hash__(self) -> int:
+        return hash("repro.core.values.Bottom")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bottom)
+
+    def __ne__(self, other: object) -> bool:
+        return not isinstance(other, Bottom)
+
+    # ``⊥`` is strictly smaller than every non-bottom value.
+    def __lt__(self, other: Any) -> bool:
+        return not isinstance(other, Bottom)
+
+    def __le__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __ge__(self, other: Any) -> bool:
+        return isinstance(other, Bottom)
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        # Keep the singleton property across pickling (used by traces).
+        return (Bottom, ())
+
+
+#: The unique bottom placeholder instance.
+BOTTOM = Bottom()
+
+
+def is_bottom(value: Any) -> bool:
+    """Return ``True`` iff *value* is the bottom placeholder."""
+    return isinstance(value, Bottom)
+
+
+class ValueDomain(Sequence):
+    """A finite totally ordered domain of proposable values ``{1, ..., m}``.
+
+    The paper (Theorems 3 and 13) counts conditions over the value set
+    ``{1, ..., m}``; this class is the library's canonical representation of
+    that set.  It behaves as an immutable sequence of its values in increasing
+    order.
+
+    Parameters
+    ----------
+    size:
+        The number ``m`` of distinct proposable values, ``m >= 1``.
+
+    Examples
+    --------
+    >>> dom = ValueDomain(4)
+    >>> list(dom)
+    [1, 2, 3, 4]
+    >>> dom.max_value
+    4
+    >>> 3 in dom
+    True
+    >>> BOTTOM in dom
+    False
+    """
+
+    __slots__ = ("_size",)
+
+    def __init__(self, size: int) -> None:
+        if not isinstance(size, int) or size < 1:
+            raise InvalidParameterError(
+                f"a value domain needs at least one value, got size={size!r}"
+            )
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        """The number ``m`` of proposable values."""
+        return self._size
+
+    @property
+    def min_value(self) -> int:
+        """The smallest proposable value (always 1)."""
+        return 1
+
+    @property
+    def max_value(self) -> int:
+        """The greatest proposable value (``m``)."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(1, self._size + 1))
+
+    def __getitem__(self, index):
+        values = range(1, self._size + 1)
+        return values[index]
+
+    def __contains__(self, value: object) -> bool:
+        if is_bottom(value):
+            return False
+        return isinstance(value, int) and not isinstance(value, bool) and 1 <= value <= self._size
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueDomain) and other._size == self._size
+
+    def __hash__(self) -> int:
+        return hash(("ValueDomain", self._size))
+
+    def __repr__(self) -> str:
+        return f"ValueDomain(size={self._size})"
+
+    def values_greater_than(self, value: int) -> range:
+        """Return the proposable values strictly greater than *value*.
+
+        ``value`` may be 0 (meaning "all values") or any domain value.  This is
+        used by the analytic decoder of the maximal ``max_l`` condition, which
+        needs to know how many *fresh* values an adversarial completion of a
+        view could introduce above a given value.
+        """
+        low = max(int(value), 0)
+        return range(low + 1, self._size + 1)
+
+    def count_greater_than(self, value: int) -> int:
+        """Number of proposable values strictly greater than *value*."""
+        return len(self.values_greater_than(value))
+
+    def validate_value(self, value: Any) -> None:
+        """Raise :class:`InvalidParameterError` unless *value* belongs to the domain."""
+        if value not in self:
+            raise InvalidParameterError(
+                f"value {value!r} is not in the domain {{1, ..., {self._size}}}"
+            )

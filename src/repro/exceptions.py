@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate among the specific failure modes used in tests and
+experiment harnesses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class InvalidVectorError(ReproError):
+    """A vector or view was built from inconsistent data.
+
+    Examples: an input vector containing the ``BOTTOM`` placeholder, a view
+    whose length does not match the system size, or a vector carrying values
+    outside the declared value domain.
+    """
+
+
+class InvalidParameterError(ReproError):
+    """A model or algorithm parameter is outside its legal range.
+
+    Raised for instance when ``t >= n``, when a condition degree ``d`` is not
+    in ``[0, t]``, or when the coordination degree ``k`` of a set-agreement
+    instance is smaller than 1.
+    """
+
+
+class EmptyConditionError(ReproError):
+    """An operation that requires a non-empty condition received an empty one."""
+
+
+class LegalityError(ReproError):
+    """A condition violates one of the (x, l)-legality properties.
+
+    The offending property (validity, density or distance) and the witnesses
+    are carried in the message; structured access is available through
+    :class:`repro.core.legality.LegalityReport`.
+    """
+
+
+class DecodingError(ReproError):
+    """The extended recognizing function could not decode a view.
+
+    Per Definition 4 of the paper this only happens when the view is not
+    contained in any vector of the condition, or when it has more than ``x``
+    missing entries (in which case Theorem 1 no longer guarantees a non-empty
+    decoded set).
+    """
+
+
+class SimulationError(ReproError):
+    """The synchronous or asynchronous simulator reached an inconsistent state."""
+
+
+class AdversaryError(ReproError):
+    """A crash schedule is infeasible (too many crashes, unknown process, ...)."""
+
+
+class AgreementViolationError(ReproError):
+    """An execution violated termination, validity or k-agreement.
+
+    The property checkers in :mod:`repro.analysis.properties` raise this when
+    asked to *assert* a property instead of merely reporting it.
+    """
+
+
+class ProtocolStateError(ReproError):
+    """An algorithm object was driven through an illegal state transition.
+
+    For example calling a round handler on a process that already decided or
+    crashed, or asking for a decision before termination.
+    """

@@ -1,0 +1,37 @@
+"""Synchronous round-based message-passing substrate (the model of Section 6.2).
+
+The subpackage provides the crash-failure adversary model, the process and
+algorithm interfaces, the deterministic round-based execution engine and the
+optional execution traces.
+"""
+
+from .adversary import (
+    CrashEvent,
+    CrashSchedule,
+    crashes_in_round_one,
+    initial_crashes,
+    no_crashes,
+    random_schedule,
+    staggered_schedule,
+)
+from .messages import Message
+from .process import RoundBasedProcess, SynchronousAlgorithm
+from .runtime import ExecutionResult, SynchronousSystem
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "CrashEvent",
+    "CrashSchedule",
+    "ExecutionResult",
+    "ExecutionTrace",
+    "Message",
+    "RoundBasedProcess",
+    "RoundRecord",
+    "SynchronousAlgorithm",
+    "SynchronousSystem",
+    "crashes_in_round_one",
+    "initial_crashes",
+    "no_crashes",
+    "random_schedule",
+    "staggered_schedule",
+]

@@ -1,0 +1,297 @@
+"""Crash adversaries for the synchronous simulator (Section 6.2 failure model).
+
+A process is *faulty* when it crashes: it stops in the middle of some round
+and takes no further step.  The only adversarial freedom in the model is
+
+* **when** each faulty process crashes (which round), and
+* **which prefix / subset of its round messages is delivered** before it stops.
+
+Round 1 is special: the paper's algorithm relies on the *ordered* send phase
+(each process sends to ``p_1``, then ``p_2``, ..., then ``p_n``), so a process
+crashing during round 1 delivers its proposal to a **prefix** of the processes.
+This is what makes the round-1 views ordered by containment, the key
+ingredient of the agreement proof (Theorem 12).  In later rounds the paper
+puts no constraint on the order, so the adversary may pick an arbitrary subset
+of receivers.
+
+The module defines:
+
+* :class:`CrashEvent` / :class:`CrashSchedule` — a fully explicit, validated
+  description of who crashes when and who still hears from them;
+* adversary factories producing schedules: :func:`no_crashes`,
+  :func:`initial_crashes`, :func:`random_schedule`,
+  :func:`staggered_schedule` (the classical "one chain of crashes per round"
+  worst case that forces flood algorithms to run long) and
+  :func:`crashes_in_round_one`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterable, Mapping
+
+from ..exceptions import AdversaryError
+
+__all__ = [
+    "CrashEvent",
+    "CrashSchedule",
+    "no_crashes",
+    "initial_crashes",
+    "crashes_in_round_one",
+    "random_schedule",
+    "staggered_schedule",
+]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """The crash of one process.
+
+    Attributes
+    ----------
+    process_id:
+        The crashing process (0-based).
+    round_number:
+        The round during which the process crashes (1-based).  The process
+        executes no compute phase for that round and sends nothing afterwards.
+    delivered_to:
+        The receivers that still get the process's round-``round_number``
+        message.  For a round-1 crash this **must** be a prefix
+        ``{0, 1, ..., c−1}`` of the process identifiers (ordered send phase);
+        the simulator enforces it.  ``frozenset()`` means the crash happened
+        before any send ("initially crashed" when ``round_number == 1``).
+    """
+
+    process_id: int
+    round_number: int
+    delivered_to: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.process_id < 0:
+            raise AdversaryError(f"invalid process id {self.process_id}")
+        if self.round_number < 1:
+            raise AdversaryError(f"invalid crash round {self.round_number}")
+        object.__setattr__(self, "delivered_to", frozenset(self.delivered_to))
+
+    @staticmethod
+    def initially_crashed(process_id: int) -> "CrashEvent":
+        """A process that crashes before taking any step."""
+        return CrashEvent(process_id, 1, frozenset())
+
+    @staticmethod
+    def round_one_prefix(process_id: int, prefix_length: int) -> "CrashEvent":
+        """A round-1 crash delivering the proposal to the first *prefix_length* processes."""
+        if prefix_length < 0:
+            raise AdversaryError(f"negative prefix length {prefix_length}")
+        return CrashEvent(process_id, 1, frozenset(range(prefix_length)))
+
+    def is_prefix_delivery(self) -> bool:
+        """Is the delivered set a prefix {0, ..., c−1} of the process identifiers?"""
+        return self.delivered_to == frozenset(range(len(self.delivered_to)))
+
+
+@dataclass
+class CrashSchedule:
+    """A complete crash schedule: at most one :class:`CrashEvent` per process."""
+
+    events: dict[int, CrashEvent] = field(default_factory=dict)
+
+    @classmethod
+    def from_events(cls, events: Iterable[CrashEvent]) -> "CrashSchedule":
+        """Build a schedule from events, rejecting duplicated process ids."""
+        table: dict[int, CrashEvent] = {}
+        for event in events:
+            if event.process_id in table:
+                raise AdversaryError(
+                    f"process {event.process_id} appears twice in the crash schedule"
+                )
+            table[event.process_id] = event
+        return cls(table)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events.values())
+
+    def crash_count(self) -> int:
+        """Total number of faulty processes in the schedule."""
+        return len(self.events)
+
+    def crash_round(self, process_id: int) -> int | None:
+        """The round during which *process_id* crashes, or ``None`` if correct."""
+        event = self.events.get(process_id)
+        return event.round_number if event is not None else None
+
+    def crashes_in_round(self, round_number: int) -> tuple[CrashEvent, ...]:
+        """All crash events scheduled for *round_number*."""
+        return tuple(
+            event for event in self.events.values() if event.round_number == round_number
+        )
+
+    def initial_crash_count(self) -> int:
+        """Processes that crash in round 1 without delivering anything."""
+        return sum(
+            1
+            for event in self.events.values()
+            if event.round_number == 1 and not event.delivered_to
+        )
+
+    def round_one_crash_count(self) -> int:
+        """Processes that crash during the first round (any delivery prefix)."""
+        return sum(1 for event in self.events.values() if event.round_number == 1)
+
+    def validate(self, n: int, t: int) -> None:
+        """Check the schedule against the system parameters.
+
+        * every process identifier is in ``[0, n)``;
+        * at most ``t`` processes crash;
+        * round-1 crashes deliver to a prefix of the process identifiers
+          (ordered send phase of Section 6.2);
+        * delivered sets only name existing processes.
+        """
+        if len(self.events) > t:
+            raise AdversaryError(
+                f"the schedule crashes {len(self.events)} processes but t={t}"
+            )
+        for event in self.events.values():
+            if not 0 <= event.process_id < n:
+                raise AdversaryError(
+                    f"crash event names process {event.process_id} outside [0, {n})"
+                )
+            if any(not 0 <= receiver < n for receiver in event.delivered_to):
+                raise AdversaryError(
+                    f"crash event of process {event.process_id} delivers to unknown processes"
+                )
+            if event.round_number == 1 and not event.is_prefix_delivery():
+                raise AdversaryError(
+                    "round-1 crashes must deliver to a prefix of the processes "
+                    "(ordered send phase); got "
+                    f"{sorted(event.delivered_to)} for process {event.process_id}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Adversary factories
+# ----------------------------------------------------------------------
+def no_crashes() -> CrashSchedule:
+    """The failure-free schedule."""
+    return CrashSchedule()
+
+
+def initial_crashes(count: int, process_ids: Iterable[int] | None = None) -> CrashSchedule:
+    """*count* processes crash before taking any step.
+
+    By default the highest-numbered processes are chosen (any choice is
+    equivalent for the algorithms, which are symmetric); an explicit iterable
+    of process identifiers can be given instead.
+    """
+    if process_ids is None:
+        raise AdversaryError(
+            "initial_crashes needs the system size; use crashes_in_round_one(n, count) "
+            "or pass explicit process_ids"
+        )
+    chosen = list(process_ids)[:count]
+    if len(chosen) < count:
+        raise AdversaryError(f"asked for {count} initial crashes but only {len(chosen)} ids given")
+    return CrashSchedule.from_events(CrashEvent.initially_crashed(pid) for pid in chosen)
+
+
+def crashes_in_round_one(
+    n: int,
+    count: int,
+    delivered_prefix: int = 0,
+    start_id: int | None = None,
+) -> CrashSchedule:
+    """*count* processes crash during round 1, each delivering to the same prefix.
+
+    ``delivered_prefix = 0`` models processes that crashed initially (their
+    entry stays ⊥ in every view).  The crashing processes are the
+    highest-numbered ones unless *start_id* is given.
+    """
+    if count > n:
+        raise AdversaryError(f"cannot crash {count} processes out of {n}")
+    first = n - count if start_id is None else start_id
+    ids = range(first, first + count)
+    return CrashSchedule.from_events(
+        CrashEvent.round_one_prefix(pid, delivered_prefix) for pid in ids
+    )
+
+
+def random_schedule(
+    n: int,
+    t: int,
+    crash_count: int,
+    max_round: int,
+    rng: Random | int | None = None,
+) -> CrashSchedule:
+    """A random schedule with *crash_count* crashes spread over ``[1, max_round]``.
+
+    Round-1 crashes deliver a random prefix; later crashes deliver a random
+    subset of the processes.  Deterministic given the seed.
+    """
+    if crash_count > t:
+        raise AdversaryError(f"crash_count={crash_count} exceeds t={t}")
+    if crash_count > n:
+        raise AdversaryError(f"crash_count={crash_count} exceeds n={n}")
+    if max_round < 1:
+        raise AdversaryError(f"max_round must be >= 1, got {max_round}")
+    if not isinstance(rng, Random):
+        rng = Random(rng)
+    victims = rng.sample(range(n), crash_count)
+    events = []
+    for victim in victims:
+        round_number = rng.randint(1, max_round)
+        if round_number == 1:
+            prefix = rng.randint(0, n)
+            events.append(CrashEvent.round_one_prefix(victim, prefix))
+        else:
+            others = [pid for pid in range(n)]
+            subset_size = rng.randint(0, n)
+            delivered = frozenset(rng.sample(others, subset_size))
+            events.append(CrashEvent(victim, round_number, delivered))
+    return CrashSchedule.from_events(events)
+
+
+def staggered_schedule(
+    n: int,
+    t: int,
+    per_round: int = 1,
+    first_round: int = 1,
+    round_one_prefixes: Mapping[int, int] | None = None,
+) -> CrashSchedule:
+    """The classical staggered adversary: *per_round* crashes in every round.
+
+    Starting at *first_round*, the schedule crashes ``per_round`` processes per
+    round until the budget ``t`` is exhausted.  In round 1 each victim delivers
+    a distinct shrinking prefix (victim ``i`` of the round delivers to the
+    first ``n − i − 1`` processes, unless overridden through
+    *round_one_prefixes*); in later rounds each victim delivers to nobody.
+    This is the adversary that forces flood-based algorithms to keep running,
+    and it is the one used by the round-tightness experiments (E6/E7).
+    """
+    if per_round < 1:
+        raise AdversaryError(f"per_round must be >= 1, got {per_round}")
+    events: list[CrashEvent] = []
+    victim = n - 1
+    budget = t
+    round_number = first_round
+    while budget > 0 and victim >= 0:
+        for slot in range(min(per_round, budget)):
+            if victim < 0:
+                break
+            if round_number == 1:
+                default_prefix = max(0, n - slot - 1)
+                prefix = (
+                    round_one_prefixes.get(victim, default_prefix)
+                    if round_one_prefixes
+                    else default_prefix
+                )
+                events.append(CrashEvent.round_one_prefix(victim, prefix))
+            else:
+                events.append(CrashEvent(victim, round_number, frozenset()))
+            victim -= 1
+        budget -= min(per_round, budget)
+        round_number += 1
+    return CrashSchedule.from_events(events)

@@ -1,0 +1,43 @@
+"""Messages exchanged by the synchronous round-based simulator.
+
+The synchronous model of Section 6.2 only needs point-to-point messages tagged
+with their round number.  Payloads are opaque to the substrate: each algorithm
+defines its own payload type (a value for the flood baselines, a state triple
+for the Figure 2 algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message sent during one round of the synchronous simulator.
+
+    Attributes
+    ----------
+    sender:
+        0-based identifier of the sending process.
+    receiver:
+        0-based identifier of the receiving process.
+    round_number:
+        The round (1-based) during which the message is both sent and
+        received — the fundamental property of the synchronous model.
+    payload:
+        Algorithm-specific content.
+    """
+
+    sender: int
+    receiver: int
+    round_number: int
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if self.sender < 0 or self.receiver < 0:
+            raise ValueError("process identifiers are non-negative integers")
+        if self.round_number < 1:
+            raise ValueError("round numbers start at 1")

@@ -1,0 +1,339 @@
+"""The synchronous round-based execution engine (the model of Section 6.2).
+
+The engine implements exactly the paper's synchronous computation model:
+
+* executions proceed in rounds ``r = 1, 2, ...``;
+* each round has a **send phase** (every live process broadcasts one payload),
+  a **receive phase** (a message sent in round ``r`` is received in round
+  ``r``) and a **computation phase**;
+* a process that crashes during round ``r`` delivers its round-``r`` message
+  only to the receivers allowed by the :class:`~repro.sync.adversary.CrashSchedule`
+  and takes no further step;
+* during round 1 the send order is fixed (``p_1`` first, then ``p_2``, ...),
+  so a round-1 crash delivers a *prefix* — the schedule validation enforces
+  it, which is what gives the containment ordering of round-1 views that the
+  agreement proof of the paper relies on.
+
+The engine is deterministic: given an input vector and a crash schedule the
+execution is a pure function.  Randomness only enters through the adversary
+factories of :mod:`repro.sync.adversary`, which take explicit seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.vectors import InputVector
+from ..exceptions import InvalidParameterError, SimulationError
+from .adversary import CrashSchedule, no_crashes
+from .process import RoundBasedProcess, SynchronousAlgorithm
+from .trace import ExecutionTrace, RoundRecord
+
+__all__ = ["ExecutionResult", "SynchronousSystem"]
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one synchronous execution.
+
+    Attributes
+    ----------
+    n, t:
+        System parameters.
+    input_vector:
+        The proposals, as an :class:`~repro.core.vectors.InputVector`.
+    decisions:
+        Mapping process id -> decided value, for every process that decided.
+    decision_rounds:
+        Mapping process id -> round at which it decided.
+    crash_rounds:
+        Mapping process id -> round during which it crashed.
+    rounds_executed:
+        Number of rounds the engine ran before every live process halted.
+    schedule:
+        The crash schedule that was applied.
+    trace:
+        Optional detailed trace (``None`` unless the run recorded one).
+    """
+
+    n: int
+    t: int
+    input_vector: InputVector
+    decisions: dict[int, Any] = field(default_factory=dict)
+    decision_rounds: dict[int, int] = field(default_factory=dict)
+    crash_rounds: dict[int, int] = field(default_factory=dict)
+    rounds_executed: int = 0
+    schedule: CrashSchedule = field(default_factory=CrashSchedule)
+    trace: ExecutionTrace | None = None
+
+    # -- derived facts -------------------------------------------------------
+    @property
+    def correct_processes(self) -> frozenset[int]:
+        """The processes that never crashed."""
+        return frozenset(pid for pid in range(self.n) if pid not in self.crash_rounds)
+
+    @property
+    def faulty_processes(self) -> frozenset[int]:
+        """The processes that crashed during the execution."""
+        return frozenset(self.crash_rounds)
+
+    @property
+    def failure_count(self) -> int:
+        """``f``: the number of processes that actually crashed."""
+        return len(self.crash_rounds)
+
+    def decided_values(self) -> frozenset[Any]:
+        """The set of distinct decided values."""
+        return frozenset(self.decisions.values())
+
+    def distinct_decision_count(self) -> int:
+        """Number of distinct decided values (must be ≤ k for k-set agreement)."""
+        return len(self.decided_values())
+
+    def max_decision_round(self) -> int:
+        """The latest round at which some process decided (0 when nobody decided)."""
+        return max(self.decision_rounds.values(), default=0)
+
+    def max_decision_round_of_correct(self) -> int:
+        """The latest decision round among correct processes only."""
+        rounds = [
+            self.decision_rounds[pid]
+            for pid in self.correct_processes
+            if pid in self.decision_rounds
+        ]
+        return max(rounds, default=0)
+
+    def all_correct_decided(self) -> bool:
+        """Termination: did every correct process decide?"""
+        return all(pid in self.decisions for pid in self.correct_processes)
+
+    def summary(self) -> str:
+        """One-line description used by examples and experiment logs."""
+        return (
+            f"n={self.n} t={self.t} f={self.failure_count} "
+            f"rounds={self.rounds_executed} "
+            f"decided={self.distinct_decision_count()} value(s) "
+            f"latest_decision_round={self.max_decision_round()}"
+        )
+
+
+class SynchronousSystem:
+    """A synchronous message-passing system running one algorithm.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    t:
+        Maximum number of crashes the runs may contain (``0 <= t < n``).
+    algorithm:
+        The :class:`~repro.sync.process.SynchronousAlgorithm` factory.
+    record_trace:
+        When ``True`` every run stores a full :class:`ExecutionTrace`.
+    max_rounds:
+        Watchdog override; defaults to ``algorithm.max_rounds(n, t)``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        algorithm: SynchronousAlgorithm,
+        record_trace: bool = False,
+        max_rounds: int | None = None,
+    ) -> None:
+        if n < 1:
+            raise InvalidParameterError(f"the system needs at least one process, got n={n}")
+        if not 0 <= t < n:
+            raise InvalidParameterError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+        self._n = n
+        self._t = t
+        self._algorithm = algorithm
+        self._record_trace = record_trace
+        self._max_rounds = max_rounds
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @property
+    def t(self) -> int:
+        """Maximum number of tolerated crashes."""
+        return self._t
+
+    @property
+    def algorithm(self) -> SynchronousAlgorithm:
+        """The algorithm executed by the system."""
+        return self._algorithm
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        proposals: InputVector | Mapping[int, Any] | list[Any],
+        schedule: CrashSchedule | None = None,
+    ) -> ExecutionResult:
+        """Execute the algorithm on *proposals* under *schedule*.
+
+        *proposals* may be an :class:`InputVector`, a list of values (one per
+        process) or a mapping process id -> value.  The schedule defaults to
+        the failure-free one.
+        """
+        input_vector = self._normalise_proposals(proposals)
+        schedule = schedule if schedule is not None else no_crashes()
+        schedule.validate(self._n, self._t)
+
+        processes = self._create_processes()
+        for process_id, process in processes.items():
+            process.initialize(input_vector[process_id])
+
+        result = ExecutionResult(
+            n=self._n,
+            t=self._t,
+            input_vector=input_vector,
+            schedule=schedule,
+            trace=ExecutionTrace() if self._record_trace else None,
+        )
+        crashed: set[int] = set()
+        round_limit = (
+            self._max_rounds
+            if self._max_rounds is not None
+            else self._algorithm.max_rounds(self._n, self._t)
+        )
+
+        round_number = 0
+        while round_number < round_limit:
+            live = [
+                pid
+                for pid, process in processes.items()
+                if pid not in crashed and not process.has_halted()
+            ]
+            if not live:
+                break
+            round_number += 1
+            self._run_one_round(
+                round_number, processes, crashed, schedule, result
+            )
+
+        # Watchdog: live processes remaining after the round limit means the
+        # algorithm violated its own termination bound.
+        still_running = [
+            pid
+            for pid, process in processes.items()
+            if pid not in crashed and not process.has_halted()
+        ]
+        if still_running:
+            raise SimulationError(
+                f"{self._algorithm.name} exceeded its round bound "
+                f"({round_limit} rounds) with processes {still_running} still running"
+            )
+
+        result.rounds_executed = round_number
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _normalise_proposals(
+        self, proposals: InputVector | Mapping[int, Any] | list[Any]
+    ) -> InputVector:
+        if isinstance(proposals, InputVector):
+            vector = proposals
+        elif isinstance(proposals, Mapping):
+            try:
+                vector = InputVector(proposals[pid] for pid in range(self._n))
+            except KeyError as missing:
+                raise InvalidParameterError(
+                    f"no proposal for process {missing.args[0]}"
+                ) from None
+        else:
+            vector = InputVector(proposals)
+        if len(vector) != self._n:
+            raise InvalidParameterError(
+                f"expected {self._n} proposals, got {len(vector)}"
+            )
+        return vector
+
+    def _create_processes(self) -> dict[int, RoundBasedProcess]:
+        processes = {}
+        for process_id in range(self._n):
+            process = self._algorithm.create_process(process_id, self._n, self._t)
+            if not isinstance(process, RoundBasedProcess):
+                raise SimulationError(
+                    f"{self._algorithm.name}.create_process returned "
+                    f"{type(process).__name__}, not a RoundBasedProcess"
+                )
+            processes[process_id] = process
+        return processes
+
+    def _run_one_round(
+        self,
+        round_number: int,
+        processes: dict[int, RoundBasedProcess],
+        crashed: set[int],
+        schedule: CrashSchedule,
+        result: ExecutionResult,
+    ) -> None:
+        crash_events = {
+            event.process_id: event
+            for event in schedule.crashes_in_round(round_number)
+            if event.process_id not in crashed
+        }
+
+        # --- send phase (process order = identifier order) -----------------
+        inboxes: dict[int, dict[int, Any]] = {pid: {} for pid in range(self._n)}
+        senders: list[int] = []
+        for sender_id in range(self._n):
+            if sender_id in crashed:
+                continue
+            process = processes[sender_id]
+            if process.has_halted():
+                continue
+            payload = process.message_for_round(round_number)
+            senders.append(sender_id)
+            if sender_id in crash_events:
+                receivers = crash_events[sender_id].delivered_to
+            else:
+                receivers = range(self._n)
+            for receiver_id in receivers:
+                inboxes[receiver_id][sender_id] = payload
+
+        # --- crashes take effect before the computation phase ---------------
+        for victim, event in crash_events.items():
+            crashed.add(victim)
+            result.crash_rounds[victim] = event.round_number
+
+        # --- receive + computation phases -----------------------------------
+        newly_decided: dict[int, Any] = {}
+        for receiver_id in range(self._n):
+            if receiver_id in crashed:
+                continue
+            process = processes[receiver_id]
+            if process.has_halted():
+                continue
+            process.receive_round(round_number, inboxes[receiver_id])
+            if process.has_decided() and receiver_id not in result.decisions:
+                result.decisions[receiver_id] = process.decision
+                result.decision_rounds[receiver_id] = process.decision_round or round_number
+                newly_decided[receiver_id] = process.decision
+
+        if result.trace is not None:
+            result.trace.record(
+                RoundRecord(
+                    round_number=round_number,
+                    senders=tuple(senders),
+                    delivered={
+                        pid: dict(inbox) for pid, inbox in inboxes.items() if inbox
+                    },
+                    crashed=tuple(sorted(crash_events)),
+                    decisions=newly_decided,
+                    active_after=tuple(
+                        pid
+                        for pid, process in processes.items()
+                        if pid not in crashed and not process.has_halted()
+                    ),
+                )
+            )

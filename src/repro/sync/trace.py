@@ -1,0 +1,76 @@
+"""Execution traces of the synchronous simulator.
+
+Traces are optional (they cost memory on large sweeps) and serve three
+purposes: debugging algorithm implementations, asserting fine-grained model
+properties in tests (e.g. the containment ordering of round-1 views), and
+producing the per-round tables shown by some examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RoundRecord", "ExecutionTrace"]
+
+
+@dataclass
+class RoundRecord:
+    """Everything that happened during one round."""
+
+    round_number: int
+    #: Processes that sent a message this round (alive, not halted at send time).
+    senders: tuple[int, ...] = ()
+    #: Messages delivered: receiver id -> {sender id: payload}.
+    delivered: dict[int, dict[int, Any]] = field(default_factory=dict)
+    #: Processes that crashed during this round.
+    crashed: tuple[int, ...] = ()
+    #: Processes that decided during this round, with their decision.
+    decisions: dict[int, Any] = field(default_factory=dict)
+    #: Processes still running (not crashed, not halted) at the end of the round.
+    active_after: tuple[int, ...] = ()
+
+    def messages_received_by(self, process_id: int) -> dict[int, Any]:
+        """The messages delivered to *process_id* during this round."""
+        return dict(self.delivered.get(process_id, {}))
+
+    def senders_heard_by(self, process_id: int) -> frozenset[int]:
+        """The processes from which *process_id* received a message this round."""
+        return frozenset(self.delivered.get(process_id, {}))
+
+
+@dataclass
+class ExecutionTrace:
+    """The sequence of :class:`RoundRecord` of one execution."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __iter__(self):
+        return iter(self.rounds)
+
+    def record(self, record: RoundRecord) -> None:
+        """Append the record of a completed round."""
+        self.rounds.append(record)
+
+    def round(self, round_number: int) -> RoundRecord:
+        """The record of round *round_number* (1-based)."""
+        return self.rounds[round_number - 1]
+
+    def total_messages(self) -> int:
+        """Total number of messages delivered over the whole execution."""
+        return sum(
+            len(per_receiver)
+            for record in self.rounds
+            for per_receiver in record.delivered.values()
+        )
+
+    def decision_timeline(self) -> dict[int, int]:
+        """Mapping process id -> round at which it decided."""
+        timeline: dict[int, int] = {}
+        for record in self.rounds:
+            for process_id in record.decisions:
+                timeline.setdefault(process_id, record.round_number)
+        return timeline

@@ -1,0 +1,29 @@
+"""Workload generators: input vectors and end-to-end scenarios."""
+
+from .scenarios import (
+    Scenario,
+    degraded_path_scenario,
+    fast_path_scenario,
+    outside_condition_scenario,
+)
+from .vectors import (
+    boundary_vector,
+    random_vector,
+    skewed_vector,
+    unanimous_vector,
+    vector_in_max_condition,
+    vector_outside_max_condition,
+)
+
+__all__ = [
+    "Scenario",
+    "boundary_vector",
+    "degraded_path_scenario",
+    "fast_path_scenario",
+    "outside_condition_scenario",
+    "random_vector",
+    "skewed_vector",
+    "unanimous_vector",
+    "vector_in_max_condition",
+    "vector_outside_max_condition",
+]

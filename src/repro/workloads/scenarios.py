@@ -1,0 +1,128 @@
+"""Named end-to-end scenarios pairing an input vector with a crash schedule.
+
+The examples and some integration tests want ready-made "stories" matching the
+regimes distinguished by the paper (Section 6.1).  Each scenario bundles the
+system parameters, an input vector, a schedule and the round bound the paper
+predicts for that regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..core.conditions import MaxLegalCondition
+from ..core.hierarchy import rounds_in_condition, rounds_outside_condition
+from ..core.vectors import InputVector
+from ..exceptions import InvalidParameterError
+from ..sync.adversary import CrashSchedule, crashes_in_round_one, no_crashes, staggered_schedule
+from .vectors import vector_in_max_condition, vector_outside_max_condition
+
+__all__ = ["Scenario", "fast_path_scenario", "degraded_path_scenario", "outside_condition_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified execution scenario and its predicted round bound."""
+
+    name: str
+    n: int
+    t: int
+    d: int
+    ell: int
+    k: int
+    condition: MaxLegalCondition
+    input_vector: InputVector
+    schedule: CrashSchedule
+    predicted_round_bound: int
+    description: str
+
+    @property
+    def x(self) -> int:
+        """The legality parameter ``x = t − d``."""
+        return self.t - self.d
+
+
+def _condition(n: int, m: int, t: int, d: int, ell: int) -> MaxLegalCondition:
+    return MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
+
+
+def fast_path_scenario(
+    n: int, m: int, t: int, d: int, ell: int, k: int, seed: int = 0
+) -> Scenario:
+    """Input vector in the condition, at most ``t − d`` crashes: 2 rounds."""
+    condition = _condition(n, m, t, d, ell)
+    vector = vector_in_max_condition(n, m, t - d, ell, Random(seed))
+    crash_count = min(t - d, t)
+    schedule = (
+        crashes_in_round_one(n, crash_count, delivered_prefix=n // 2)
+        if crash_count > 0
+        else no_crashes()
+    )
+    return Scenario(
+        name="fast-path",
+        n=n,
+        t=t,
+        d=d,
+        ell=ell,
+        k=k,
+        condition=condition,
+        input_vector=vector,
+        schedule=schedule,
+        predicted_round_bound=2,
+        description=(
+            "input vector in the condition and at most t − d crashes during "
+            "round 1: every process decides by round 2"
+        ),
+    )
+
+
+def degraded_path_scenario(
+    n: int, m: int, t: int, d: int, ell: int, k: int, seed: int = 0
+) -> Scenario:
+    """Input vector in the condition, more than ``t − d`` round-1 crashes."""
+    if t - d + 1 > t:
+        raise InvalidParameterError("degraded path needs d >= 1 (so that t − d + 1 <= t)")
+    condition = _condition(n, m, t, d, ell)
+    vector = vector_in_max_condition(n, m, t - d, ell, Random(seed))
+    schedule = crashes_in_round_one(n, t - d + 1, delivered_prefix=0)
+    return Scenario(
+        name="degraded-path",
+        n=n,
+        t=t,
+        d=d,
+        ell=ell,
+        k=k,
+        condition=condition,
+        input_vector=vector,
+        schedule=schedule,
+        predicted_round_bound=max(2, rounds_in_condition(d, ell, k)),
+        description=(
+            "input vector in the condition but more than t − d crashes: decisions "
+            "by round ⌊(d + l − 1)/k⌋ + 1"
+        ),
+    )
+
+
+def outside_condition_scenario(
+    n: int, m: int, t: int, d: int, ell: int, k: int, seed: int = 0
+) -> Scenario:
+    """Input vector outside the condition under the staggered adversary."""
+    condition = _condition(n, m, t, d, ell)
+    vector = vector_outside_max_condition(n, m, t - d, ell, Random(seed))
+    schedule = staggered_schedule(n, t, per_round=k)
+    return Scenario(
+        name="outside-condition",
+        n=n,
+        t=t,
+        d=d,
+        ell=ell,
+        k=k,
+        condition=condition,
+        input_vector=vector,
+        schedule=schedule,
+        predicted_round_bound=rounds_outside_condition(t, k),
+        description=(
+            "input vector outside the condition: the classical ⌊t/k⌋ + 1 bound applies"
+        ),
+    )

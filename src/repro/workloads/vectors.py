@@ -1,0 +1,156 @@
+"""Input-vector generators used by tests, examples and benchmarks.
+
+The paper's experiments all revolve around whether the input vector belongs to
+a given ``max_l`` condition; the generators here construct vectors that are
+guaranteed to be inside, outside, or right at the density boundary of such a
+condition, plus generic random and skewed vectors.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+from ..core.conditions import MaxLegalCondition
+from ..core.vectors import InputVector
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "random_vector",
+    "skewed_vector",
+    "vector_in_max_condition",
+    "vector_outside_max_condition",
+    "boundary_vector",
+    "unanimous_vector",
+]
+
+
+def _as_rng(rng: Random | int | None) -> Random:
+    return rng if isinstance(rng, Random) else Random(rng)
+
+
+def random_vector(n: int, m: int, rng: Random | int | None = None) -> InputVector:
+    """A uniformly random vector of size *n* over ``{1, ..., m}``."""
+    rng = _as_rng(rng)
+    return InputVector(rng.randint(1, m) for _ in range(n))
+
+
+def skewed_vector(n: int, m: int, rng: Random | int | None = None, bias: float = 0.5) -> InputVector:
+    """A vector with a geometric bias towards the largest value of the domain.
+
+    With probability *bias* an entry takes the maximum value ``m``, otherwise
+    a uniform value; this mimics the "mostly agreeing inputs" workloads that
+    motivate the condition-based approach (inputs produced by a previous
+    coordination step tend to be almost unanimous).
+    """
+    rng = _as_rng(rng)
+    if not 0 <= bias <= 1:
+        raise InvalidParameterError(f"bias must be in [0, 1], got {bias}")
+    entries = [
+        m if rng.random() < bias else rng.randint(1, m)
+        for _ in range(n)
+    ]
+    return InputVector(entries)
+
+
+def unanimous_vector(n: int, value: Any) -> InputVector:
+    """The vector in which every process proposes *value*."""
+    return InputVector([value] * n)
+
+
+def vector_in_max_condition(
+    n: int, m: int, x: int, ell: int, rng: Random | int | None = None
+) -> InputVector:
+    """A vector guaranteed to belong to the ``max_l`` condition with parameter *x*.
+
+    Construction: pick ``min(l, m)`` "top" values, give them at least ``x + 1``
+    entries in total (making sure the largest picked value is the largest of
+    the vector), and fill the rest with smaller values.
+    """
+    rng = _as_rng(rng)
+    if x >= n:
+        raise InvalidParameterError(f"x must be < n, got x={x}, n={n}")
+    top_count = min(ell, m)
+    top_values = sorted(rng.sample(range(1, m + 1), top_count), reverse=True)
+    occupancy = rng.randint(min(x + 1, n), n)
+    entries: list[int] = []
+    for index in range(occupancy):
+        entries.append(top_values[index % top_count])
+    smaller_bound = min(top_values) - 1
+    for _ in range(n - occupancy):
+        if smaller_bound >= 1:
+            entries.append(rng.randint(1, smaller_bound))
+        else:
+            entries.append(min(top_values))
+    rng.shuffle(entries)
+    vector = InputVector(entries)
+    condition = MaxLegalCondition(n, m, x, ell)
+    if not condition.contains(vector):
+        raise InvalidParameterError(
+            "internal error: constructed vector is outside the target condition"
+        )
+    return vector
+
+
+def vector_outside_max_condition(
+    n: int, m: int, x: int, ell: int, rng: Random | int | None = None
+) -> InputVector:
+    """A vector guaranteed to be outside the ``max_l`` condition with parameter *x*.
+
+    The vector's ``l`` greatest values must occupy at most ``x`` entries, which
+    requires spreading the large values thin; this is only possible when the
+    domain offers enough distinct values (``m`` large enough relative to
+    ``n``, ``x`` and ``l``).  :class:`InvalidParameterError` is raised when no
+    such vector exists (in particular whenever ``l > x``, since then the
+    condition contains every vector).
+    """
+    rng = _as_rng(rng)
+    if ell > x:
+        raise InvalidParameterError(
+            f"the max_{ell} condition with x={x} contains every vector (l > x): "
+            "no outside vector exists"
+        )
+    condition = MaxLegalCondition(n, m, x, ell)
+    # Greedy construction: use as many distinct values as possible, assigning
+    # the large values exactly one entry each so the top-l occupancy stays at l <= x.
+    if m < n - x + ell:
+        raise InvalidParameterError(
+            f"need at least n − x + l = {n - x + ell} distinct values to build an "
+            f"outside vector, domain only has m={m}"
+        )
+    distinct = rng.sample(range(1, m + 1), n - x + ell)
+    distinct.sort(reverse=True)
+    entries = list(distinct)
+    filler = distinct[-1]
+    while len(entries) < n:
+        entries.append(filler)
+    rng.shuffle(entries)
+    vector = InputVector(entries)
+    if condition.contains(vector):
+        raise InvalidParameterError(
+            "internal error: constructed vector unexpectedly belongs to the condition"
+        )
+    return vector
+
+
+def boundary_vector(n: int, m: int, x: int, ell: int) -> InputVector:
+    """A deterministic vector sitting exactly at the density boundary.
+
+    Its ``l`` greatest values occupy exactly ``x + 1`` entries — the minimum
+    for membership — so it belongs to the condition but any single "failure"
+    of a top entry (from the decoder's point of view) matters.
+    """
+    if x + 1 > n:
+        raise InvalidParameterError(f"x + 1 = {x + 1} exceeds n = {n}")
+    if m < ell + 1:
+        raise InvalidParameterError(
+            f"need at least l + 1 = {ell + 1} values for a boundary vector, got m={m}"
+        )
+    top_values = list(range(m, m - ell, -1))
+    entries = [top_values[index % len(top_values)] for index in range(x + 1)]
+    entries.extend([1] * (n - x - 1))
+    vector = InputVector(entries)
+    condition = MaxLegalCondition(n, m, x, ell)
+    if not condition.contains(vector):
+        raise InvalidParameterError("internal error: boundary vector outside the condition")
+    return vector

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core import InputVector, MaxLegalCondition, MaxValues, table1_condition
+
+
+@pytest.fixture
+def rng() -> Random:
+    """A deterministic random generator (one per test)."""
+    return Random(0xC0FFEE)
+
+
+@pytest.fixture
+def table1():
+    """The Table 1 condition and its recognizing function."""
+    return table1_condition()
+
+
+@pytest.fixture
+def small_max_condition() -> MaxLegalCondition:
+    """A small max_1 condition usable both implicitly and explicitly."""
+    return MaxLegalCondition(n=4, domain=3, x=2, ell=1)
+
+
+@pytest.fixture
+def small_max2_condition() -> MaxLegalCondition:
+    """A small max_2 condition usable both implicitly and explicitly."""
+    return MaxLegalCondition(n=5, domain=3, x=3, ell=2)
+
+
+@pytest.fixture
+def sample_vector() -> InputVector:
+    """A vector belonging to the ``small_max_condition`` fixture."""
+    return InputVector([3, 3, 3, 1])
+
+
+@pytest.fixture
+def max1() -> MaxValues:
+    return MaxValues(1)
+
+
+@pytest.fixture
+def max2() -> MaxValues:
+    return MaxValues(2)

@@ -1,0 +1,168 @@
+"""Tests for the asynchronous substrate and the Section 4 algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.async_condition_set_agreement import (
+    AsyncConditionSetAgreementProcess,
+    run_async_condition_set_agreement,
+)
+from repro.analysis.properties import check_execution
+from repro.asynchronous.process import AsynchronousProcess
+from repro.asynchronous.scheduler import AsynchronousScheduler
+from repro.asynchronous.shared_memory import SharedMemory
+from repro.core.conditions import MaxLegalCondition
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector
+from repro.exceptions import (
+    InvalidParameterError,
+    ProtocolStateError,
+    SimulationError,
+)
+from repro.workloads.vectors import vector_in_max_condition, vector_outside_max_condition
+
+
+class TestSharedMemory:
+    def test_write_and_snapshot(self):
+        memory = SharedMemory(3)
+        assert memory.snapshot_proposals().bottom_count() == 3
+        memory.write_proposal(1, 7)
+        snapshot = memory.snapshot_proposals()
+        assert snapshot[1] == 7
+        assert snapshot[0] is BOTTOM
+        assert memory.write_count == 1
+        assert memory.snapshot_count == 2
+
+    def test_decision_board(self):
+        memory = SharedMemory(3)
+        memory.write_decision(0, "v")
+        assert memory.snapshot_decisions()[0] == "v"
+        assert memory.announced_decisions() == frozenset({"v"})
+
+    def test_validation(self):
+        memory = SharedMemory(2)
+        with pytest.raises(SimulationError):
+            memory.write_proposal(5, 1)
+        with pytest.raises(SimulationError):
+            memory.write_proposal(0, BOTTOM)
+        with pytest.raises(InvalidParameterError):
+            SharedMemory(0)
+
+
+class CounterProcess(AsynchronousProcess):
+    """Decides its proposal after three steps (used to test the scheduler)."""
+
+    def execute_step(self) -> None:
+        if self.steps_taken >= 3:
+            self.decide(self.proposal)
+
+
+class TestScheduler:
+    def test_round_robin_runs_to_completion(self):
+        memory = SharedMemory(3)
+        processes = [CounterProcess(pid, 3, memory) for pid in range(3)]
+        result = AsynchronousScheduler(seed=None).run(processes, [1, 2, 3])
+        assert result.terminated
+        assert result.decisions == {0: 1, 1: 2, 2: 3}
+        assert result.decision_steps == {0: 3, 1: 3, 2: 3}
+
+    def test_crashed_processes_never_step(self):
+        memory = SharedMemory(3)
+        processes = [CounterProcess(pid, 3, memory) for pid in range(3)]
+        result = AsynchronousScheduler(seed=1).run(processes, [1, 2, 3], crashed=[2])
+        assert 2 not in result.decisions
+        assert result.terminated  # all *live* processes decided
+        assert result.correct_processes == frozenset({0, 1})
+
+    def test_budget_exhaustion_reported(self):
+        class Stubborn(AsynchronousProcess):
+            def execute_step(self) -> None:
+                return None
+
+        memory = SharedMemory(2)
+        processes = [Stubborn(pid, 2, memory) for pid in range(2)]
+        result = AsynchronousScheduler(seed=0, max_steps_per_process=5).run(
+            processes, [1, 2]
+        )
+        assert not result.terminated
+        assert result.total_steps == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            AsynchronousScheduler(max_steps_per_process=0)
+        memory = SharedMemory(2)
+        processes = [CounterProcess(pid, 2, memory) for pid in range(2)]
+        with pytest.raises(InvalidParameterError):
+            AsynchronousScheduler().run(processes, [1, 2], crashed=[9])
+
+    def test_decided_process_not_rescheduled(self):
+        memory = SharedMemory(1)
+        process = CounterProcess(0, 1, memory)
+        process.initialize(1)
+        for _ in range(3):
+            process.step()
+        assert process.has_decided()
+        with pytest.raises(ProtocolStateError):
+            process.step()
+
+
+class TestAsyncConditionSetAgreement:
+    def test_process_validation(self):
+        memory = SharedMemory(4)
+        condition = MaxLegalCondition(4, 5, 2, 1)
+        with pytest.raises(InvalidParameterError):
+            AsyncConditionSetAgreementProcess(0, 4, memory, condition, x=4)
+
+    def test_in_condition_terminates_with_few_values(self):
+        n, m, x, ell = 7, 9, 3, 2
+        condition = MaxLegalCondition(n, m, x, ell)
+        vector = vector_in_max_condition(n, m, x, ell, 5)
+        result = run_async_condition_set_agreement(
+            condition, x, vector, crashed=(0, 3, 6), seed=11
+        )
+        assert result.terminated
+        report = check_execution(result, vector, ell)
+        assert report, report.failures
+
+    def test_wait_free_consensus_condition(self):
+        # x = n − 1 (wait-free) with a degree-1 condition: a single process may run alone.
+        n, m, x, ell = 5, 6, 4, 1
+        condition = MaxLegalCondition(n, m, x, ell)
+        vector = InputVector([6, 6, 6, 6, 6])
+        result = run_async_condition_set_agreement(
+            condition, x, vector, crashed=(1, 2, 3, 4), seed=2
+        )
+        assert result.terminated
+        assert result.decisions == {0: 6}
+
+    def test_validity_and_agreement_across_interleavings(self):
+        n, m, x, ell = 6, 8, 2, 1
+        condition = MaxLegalCondition(n, m, x, ell)
+        vector = vector_in_max_condition(n, m, x, ell, 9)
+        for seed in range(8):
+            result = run_async_condition_set_agreement(
+                condition, x, vector, crashed=(), seed=seed
+            )
+            assert result.terminated
+            report = check_execution(result, vector, ell)
+            assert report, report.failures
+
+    def test_outside_condition_may_block_without_violating_safety(self):
+        n, m, x, ell = 6, 8, 2, 1
+        condition = MaxLegalCondition(n, m, x, ell)
+        vector = vector_outside_max_condition(n, m, x, ell, 3)
+        result = run_async_condition_set_agreement(
+            condition, x, vector, crashed=(0, 1), seed=4, max_steps_per_process=30
+        )
+        # Safety always holds; termination is not guaranteed in this regime.
+        assert result.decided_values() <= set(vector.entries)
+        assert len(result.decided_values()) <= ell or not result.terminated
+
+    def test_helping_lets_late_processes_adopt(self):
+        n, m, x, ell = 6, 8, 2, 1
+        condition = MaxLegalCondition(n, m, x, ell)
+        vector = vector_in_max_condition(n, m, x, ell, 13)
+        result = run_async_condition_set_agreement(condition, x, vector, seed=21)
+        assert result.terminated
+        assert len(result.decided_values()) == 1

@@ -1,0 +1,154 @@
+"""Unit tests for the baseline algorithms: FloodMin, FloodSet and early-deciding k-set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.classic_consensus import FloodSetConsensus
+from repro.algorithms.classic_kset import FloodMinKSetAgreement
+from repro.algorithms.early_deciding_kset import EarlyDecidingKSetAgreement, EarlyMessage
+from repro.analysis.properties import assert_execution_correct
+from repro.core.vectors import InputVector
+from repro.exceptions import InvalidParameterError
+from repro.sync.adversary import (
+    CrashEvent,
+    CrashSchedule,
+    crashes_in_round_one,
+    no_crashes,
+    staggered_schedule,
+)
+from repro.sync.runtime import SynchronousSystem
+
+
+class TestFloodMin:
+    def test_parameters(self):
+        algorithm = FloodMinKSetAgreement(t=6, k=2)
+        assert algorithm.decision_round() == 4
+        assert algorithm.max_rounds(9, 6) == 4
+        assert algorithm.agreement_degree() == 2
+        assert "FloodMin" in algorithm.name
+        with pytest.raises(InvalidParameterError):
+            FloodMinKSetAgreement(t=-1, k=1)
+        with pytest.raises(InvalidParameterError):
+            FloodMinKSetAgreement(t=3, k=0)
+
+    def test_failure_free_run_decides_minimum(self):
+        algorithm = FloodMinKSetAgreement(t=3, k=1)
+        vector = InputVector([5, 2, 8, 4, 6, 3])
+        result = SynchronousSystem(6, 3, algorithm).run(vector)
+        assert_execution_correct(result, vector, k=1)
+        assert result.decided_values() == {2}
+        assert result.rounds_executed == algorithm.decision_round()
+
+    def test_agreement_under_staggered_adversary(self):
+        algorithm = FloodMinKSetAgreement(t=4, k=2)
+        vector = InputVector([8, 7, 6, 5, 4, 3, 2, 1])
+        result = SynchronousSystem(8, 4, algorithm).run(
+            vector, staggered_schedule(8, 4, per_round=2)
+        )
+        assert_execution_correct(result, vector, k=2, round_bound=algorithm.decision_round())
+
+    def test_k1_matches_consensus_round_count(self):
+        algorithm = FloodMinKSetAgreement(t=3, k=1)
+        assert algorithm.decision_round() == 4  # t + 1
+
+    def test_consensus_violation_would_need_more_than_t_crashes(self):
+        # With t = 2, k = 1 the adversary below (2 chained crashes) cannot split
+        # the processes: everyone must decide the same value.
+        algorithm = FloodMinKSetAgreement(t=2, k=1)
+        vector = InputVector([1, 5, 5, 5, 5])
+        events = [
+            CrashEvent.round_one_prefix(0, 1),
+            CrashEvent(1, 2, frozenset({2})),
+        ]
+        result = SynchronousSystem(5, 2, algorithm).run(
+            vector, CrashSchedule.from_events(events)
+        )
+        assert_execution_correct(result, vector, k=1)
+
+
+class TestFloodSetConsensus:
+    def test_parameters(self):
+        algorithm = FloodSetConsensus(t=3)
+        assert algorithm.decision_round() == 4
+        assert algorithm.agreement_degree() == 1
+        assert not algorithm.early_stopping
+        with pytest.raises(InvalidParameterError):
+            FloodSetConsensus(t=-2)
+
+    def test_failure_free_run(self):
+        algorithm = FloodSetConsensus(t=2)
+        vector = InputVector([4, 9, 1, 7])
+        result = SynchronousSystem(4, 2, algorithm).run(vector)
+        assert_execution_correct(result, vector, k=1)
+        assert result.decided_values() == {1}
+        assert result.rounds_executed == 3
+
+    def test_agreement_with_crashes(self):
+        algorithm = FloodSetConsensus(t=3)
+        vector = InputVector([4, 9, 1, 7, 5, 2])
+        result = SynchronousSystem(6, 3, algorithm).run(
+            vector, staggered_schedule(6, 3, per_round=1)
+        )
+        assert_execution_correct(result, vector, k=1, round_bound=algorithm.decision_round())
+
+    def test_early_stopping_failure_free(self):
+        algorithm = FloodSetConsensus(t=4, early_stopping=True)
+        vector = InputVector([4, 9, 1, 7, 5, 2, 8, 3])
+        result = SynchronousSystem(8, 4, algorithm).run(vector)
+        assert_execution_correct(result, vector, k=1)
+        # f = 0: two rounds suffice (f + 2).
+        assert result.max_decision_round_of_correct() == 2
+
+    def test_early_stopping_respects_f_plus_two(self):
+        algorithm = FloodSetConsensus(t=4, early_stopping=True)
+        vector = InputVector([4, 9, 1, 7, 5, 2, 8, 3])
+        for f in range(0, 5):
+            schedule = crashes_in_round_one(8, f, delivered_prefix=4) if f else no_crashes()
+            result = SynchronousSystem(8, 4, algorithm).run(vector, schedule)
+            assert_execution_correct(
+                result, vector, k=1, round_bound=min(f + 2, algorithm.decision_round())
+            )
+
+
+class TestEarlyDecidingKSet:
+    def test_parameters(self):
+        algorithm = EarlyDecidingKSetAgreement(t=6, k=2)
+        assert algorithm.last_round() == 4
+        assert algorithm.early_bound(0) == 2
+        assert algorithm.early_bound(3) == 3
+        assert algorithm.early_bound(6) == 4
+        assert algorithm.agreement_degree() == 2
+        with pytest.raises(InvalidParameterError):
+            EarlyDecidingKSetAgreement(t=-1, k=1)
+        with pytest.raises(InvalidParameterError):
+            EarlyDecidingKSetAgreement(t=3, k=0)
+
+    def test_message_payload(self):
+        message = EarlyMessage(estimate=4, early=True)
+        assert message.estimate == 4 and message.early
+
+    def test_failure_free_two_rounds(self):
+        algorithm = EarlyDecidingKSetAgreement(t=4, k=2)
+        vector = InputVector([5, 2, 8, 4, 6, 3, 9, 1])
+        result = SynchronousSystem(8, 4, algorithm).run(vector)
+        assert_execution_correct(result, vector, k=2, round_bound=2)
+
+    def test_early_bound_over_crash_counts(self):
+        n, t, k = 9, 6, 3
+        algorithm = EarlyDecidingKSetAgreement(t=t, k=k)
+        vector = InputVector([5, 2, 8, 4, 6, 3, 9, 1, 7])
+        for f in range(0, t + 1):
+            schedule = crashes_in_round_one(n, f, delivered_prefix=3) if f else no_crashes()
+            result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
+            assert_execution_correct(
+                result, vector, k=k, round_bound=algorithm.early_bound(f)
+            )
+
+    def test_agreement_under_staggered_adversary(self):
+        algorithm = EarlyDecidingKSetAgreement(t=4, k=2)
+        vector = InputVector([8, 7, 6, 5, 4, 3, 2, 1])
+        result = SynchronousSystem(8, 4, algorithm).run(
+            vector, staggered_schedule(8, 4, per_round=2)
+        )
+        assert_execution_correct(result, vector, k=2, round_bound=algorithm.last_round())

@@ -1,0 +1,67 @@
+"""Tests for the k = l = 1 special case: condition-based synchronous consensus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.condition_consensus import ConditionBasedConsensus
+from repro.analysis.properties import assert_execution_correct
+from repro.core.conditions import MaxLegalCondition
+from repro.exceptions import InvalidParameterError
+from repro.sync.adversary import crashes_in_round_one, no_crashes, staggered_schedule
+from repro.sync.runtime import SynchronousSystem
+from repro.workloads.vectors import vector_in_max_condition, vector_outside_max_condition
+
+
+class TestConstruction:
+    def test_requires_degree_one_condition(self):
+        condition = MaxLegalCondition(n=6, domain=8, x=2, ell=2)
+        with pytest.raises(InvalidParameterError):
+            ConditionBasedConsensus(condition=condition, t=4, d=2)
+
+    def test_bounds(self):
+        condition = MaxLegalCondition(n=6, domain=8, x=2, ell=1)
+        consensus = ConditionBasedConsensus(condition=condition, t=4, d=2)
+        assert consensus.k == 1
+        assert consensus.consensus_decision_round() == 3  # d + 1
+        assert consensus.fallback_round() == 5  # t + 1
+        assert "consensus" in consensus.name
+
+
+class TestBehaviour:
+    def run_case(self, n, m, t, d, schedule, inside=True, seed=0):
+        condition = MaxLegalCondition(n=n, domain=m, x=t - d, ell=1)
+        consensus = ConditionBasedConsensus(condition=condition, t=t, d=d)
+        if inside:
+            vector = vector_in_max_condition(n, m, t - d, 1, seed)
+        else:
+            vector = vector_outside_max_condition(n, m, t - d, 1, seed)
+        result = SynchronousSystem(n, t, consensus).run(vector, schedule)
+        return consensus, vector, result
+
+    def test_fast_path_two_rounds(self):
+        consensus, vector, result = self.run_case(8, 10, 4, 2, no_crashes())
+        assert_execution_correct(result, vector, k=1, round_bound=2)
+
+    def test_in_condition_within_d_plus_one(self):
+        for d in (1, 2, 3):
+            consensus, vector, result = self.run_case(
+                8, 10, 4, d, crashes_in_round_one(8, 4, delivered_prefix=0)
+            )
+            assert_execution_correct(
+                result, vector, k=1, round_bound=max(2, d + 1)
+            )
+
+    def test_outside_condition_within_t_plus_one(self):
+        consensus, vector, result = self.run_case(
+            8, 12, 4, 2, staggered_schedule(8, 4), inside=False
+        )
+        assert_execution_correct(result, vector, k=1, round_bound=consensus.fallback_round())
+
+    def test_single_decided_value_always(self):
+        """Consensus: exactly one value decided, whatever the schedule."""
+        for seed in range(5):
+            consensus, vector, result = self.run_case(
+                8, 10, 4, 2, staggered_schedule(8, 4), seed=seed
+            )
+            assert result.distinct_decision_count() == 1

@@ -1,0 +1,206 @@
+"""Unit and scenario tests for the Figure 2 condition-based k-set agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.condition_kset import (
+    ConditionBasedKSetAgreement,
+    ConditionKSetProcess,
+    StateTriple,
+)
+from repro.analysis.properties import assert_execution_correct
+from repro.core.conditions import MaxLegalCondition
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector
+from repro.exceptions import InvalidParameterError
+from repro.sync.adversary import (
+    CrashEvent,
+    CrashSchedule,
+    crashes_in_round_one,
+    no_crashes,
+    staggered_schedule,
+)
+from repro.sync.runtime import SynchronousSystem
+
+
+def make_algorithm(n=8, m=10, t=4, d=2, ell=1, k=2, **kwargs):
+    condition = MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
+    return ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k, **kwargs), condition
+
+
+class TestStateTriple:
+    def test_priority(self):
+        assert StateTriple(v_cond=5, v_tmf=3, v_out=1).priority_value() == 5
+        assert StateTriple(v_tmf=3, v_out=1).priority_value() == 3
+        assert StateTriple(v_out=1).priority_value() == 1
+        assert StateTriple().priority_value() is BOTTOM
+
+    def test_is_blank(self):
+        assert StateTriple().is_blank()
+        assert not StateTriple(v_out=0).is_blank()
+
+
+class TestConstruction:
+    def test_parameters_exposed(self):
+        algorithm, condition = make_algorithm()
+        assert algorithm.t == 4
+        assert algorithm.d == 2
+        assert algorithm.k == 2
+        assert algorithm.ell == 1
+        assert algorithm.x == 2
+        assert algorithm.condition is condition
+        assert algorithm.agreement_degree() == 2
+        assert "condition-based" in algorithm.name
+
+    def test_round_formulas(self):
+        algorithm, _ = make_algorithm(t=6, d=3, ell=2, k=2, n=9, m=10)
+        assert algorithm.condition_decision_round() == 3  # ⌊(3+2−1)/2⌋+1
+        assert algorithm.last_round() == 4  # ⌊6/2⌋+1
+        assert algorithm.max_rounds(9, 6) == 4
+
+    def test_condition_round_never_exceeds_last_round(self):
+        algorithm, _ = make_algorithm(n=8, m=10, t=4, d=4, ell=1, k=1,
+                                      enforce_requirements=False)
+        assert algorithm.condition_decision_round() <= algorithm.last_round()
+
+    def test_requirement_ell_le_k(self):
+        condition = MaxLegalCondition(n=8, domain=10, x=2, ell=3)
+        with pytest.raises(InvalidParameterError):
+            ConditionBasedKSetAgreement(condition=condition, t=4, d=2, k=2)
+
+    def test_requirement_ell_le_t_minus_d(self):
+        condition = MaxLegalCondition(n=8, domain=10, x=1, ell=2)
+        with pytest.raises(InvalidParameterError):
+            ConditionBasedKSetAgreement(condition=condition, t=4, d=3, k=2)
+        # but allowed when explicitly relaxed
+        ConditionBasedKSetAgreement(
+            condition=condition, t=4, d=3, k=2, enforce_requirements=False
+        )
+
+    def test_parameter_validation(self):
+        condition = MaxLegalCondition(n=8, domain=10, x=2, ell=1)
+        with pytest.raises(InvalidParameterError):
+            ConditionBasedKSetAgreement(condition=condition, t=-1, d=0, k=1)
+        with pytest.raises(InvalidParameterError):
+            ConditionBasedKSetAgreement(condition=condition, t=4, d=5, k=1)
+        with pytest.raises(InvalidParameterError):
+            ConditionBasedKSetAgreement(condition=condition, t=4, d=2, k=0)
+
+    def test_create_process_checks_t(self):
+        algorithm, _ = make_algorithm()
+        with pytest.raises(InvalidParameterError):
+            algorithm.create_process(0, 8, 3)
+        process = algorithm.create_process(0, 8, 4)
+        assert isinstance(process, ConditionKSetProcess)
+
+
+class TestFastPath:
+    def test_no_crash_two_rounds(self):
+        algorithm, condition = make_algorithm()
+        vector = InputVector([7, 7, 7, 3, 2, 7, 1, 5])
+        assert condition.contains(vector)
+        result = SynchronousSystem(8, 4, algorithm).run(vector)
+        assert_execution_correct(result, vector, k=2, round_bound=2)
+        assert result.rounds_executed == 2
+        assert result.decided_values() == {7}
+
+    def test_few_round_one_crashes_still_two_rounds(self):
+        algorithm, _ = make_algorithm()
+        vector = InputVector([7, 7, 7, 3, 2, 7, 1, 5])
+        schedule = crashes_in_round_one(8, 2, delivered_prefix=3)  # f = t − d
+        result = SynchronousSystem(8, 4, algorithm).run(vector, schedule)
+        assert_execution_correct(result, vector, k=2, round_bound=2)
+
+    def test_round_one_state_is_cond(self):
+        algorithm, _ = make_algorithm()
+        process = algorithm.create_process(0, 8, 4)
+        process.initialize(7)
+        vector = [7, 7, 7, 3, 2, 7, 1, 5]
+        assert process.message_for_round(1) == 7
+        process.receive_round(1, {pid: value for pid, value in enumerate(vector)})
+        assert process.state.v_cond == 7
+        assert process.state.v_tmf is BOTTOM
+        assert process.state.v_out is BOTTOM
+        assert process.view is not None and process.view.is_full()
+
+
+class TestDegradedPath:
+    def test_many_initial_crashes_use_tmf_branch(self):
+        algorithm, condition = make_algorithm(t=4, d=2, ell=1, k=2)
+        vector = InputVector([7, 7, 7, 3, 2, 7, 1, 5])
+        schedule = crashes_in_round_one(8, 4, delivered_prefix=0)  # f = 4 > t − d = 2
+        result = SynchronousSystem(8, 4, algorithm).run(vector, schedule)
+        bound = algorithm.condition_decision_round()
+        assert_execution_correct(result, vector, k=2, round_bound=bound)
+
+    def test_round_one_tmf_state(self):
+        algorithm, _ = make_algorithm()
+        process = algorithm.create_process(0, 8, 4)
+        process.initialize(5)
+        process.message_for_round(1)
+        # Only 4 senders heard (including itself): 4 bottoms > t − d = 2.
+        process.receive_round(1, {0: 5, 1: 7, 2: 3, 3: 2})
+        assert process.state.v_tmf == 7
+        assert process.state.v_cond is BOTTOM
+
+    def test_round_one_out_state(self):
+        algorithm, condition = make_algorithm(t=4, d=2, ell=1, k=2)
+        vector = [1, 2, 3, 4, 5, 6, 7, 8]
+        assert not condition.contains(InputVector(vector))
+        process = algorithm.create_process(0, 8, 4)
+        process.initialize(1)
+        process.message_for_round(1)
+        process.receive_round(1, dict(enumerate(vector)))
+        assert process.state.v_out == 8
+        assert process.state.v_cond is BOTTOM
+
+
+class TestOutsideCondition:
+    def test_decides_by_classical_bound(self):
+        algorithm, condition = make_algorithm(t=4, d=2, ell=1, k=2)
+        vector = InputVector([1, 2, 3, 4, 5, 6, 7, 8])
+        assert not condition.contains(vector)
+        schedule = staggered_schedule(8, 4, per_round=2)
+        result = SynchronousSystem(8, 4, algorithm).run(vector, schedule)
+        assert_execution_correct(result, vector, k=2, round_bound=algorithm.last_round())
+
+    def test_outside_with_many_initial_crashes_decides_early(self):
+        algorithm, _ = make_algorithm(t=4, d=2, ell=1, k=2)
+        vector = InputVector([1, 2, 3, 4, 5, 6, 7, 8])
+        schedule = crashes_in_round_one(8, 3, delivered_prefix=0)
+        result = SynchronousSystem(8, 4, algorithm).run(vector, schedule)
+        assert_execution_correct(
+            result, vector, k=2, round_bound=algorithm.condition_decision_round()
+        )
+
+
+class TestAgreementUnderSplits:
+    def test_split_views_decide_at_most_k_values(self):
+        """A round-1 prefix crash shows two different cond values; still <= k."""
+        n, t, d, ell, k = 6, 3, 2, 1, 2
+        condition = MaxLegalCondition(n=n, domain=9, x=t - d, ell=ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        # p5 proposes the largest value but crashes after reaching only p0:
+        # p0's view decodes 9 while the others decode 7.
+        vector = InputVector([7, 7, 7, 2, 1, 9])
+        schedule = CrashSchedule.from_events([CrashEvent.round_one_prefix(5, 1)])
+        result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
+        assert_execution_correct(result, vector, k=k)
+        assert result.decided_values() <= {7, 9}
+
+    def test_consecutive_crashes_chain(self):
+        n, t, d, ell, k = 8, 4, 2, 1, 2
+        condition = MaxLegalCondition(n=n, domain=9, x=t - d, ell=ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        vector = InputVector([5, 5, 5, 5, 4, 3, 2, 9])
+        events = [
+            CrashEvent.round_one_prefix(7, 1),
+            CrashEvent(6, 2, frozenset({0})),
+            CrashEvent(5, 3, frozenset({1})),
+            CrashEvent(4, 3, frozenset()),
+        ]
+        result = SynchronousSystem(n, t, algorithm).run(
+            vector, CrashSchedule.from_events(events)
+        )
+        assert_execution_correct(result, vector, k=k, round_bound=algorithm.last_round())

@@ -1,0 +1,164 @@
+"""Trace-level tests of the Figure 2 algorithm's internal behaviour.
+
+These tests open the box: they check *how* the algorithm reaches its
+decisions — the line-14 "send then decide" behaviour, the max-reduction of the
+three value classes (lines 15–17), the priority among classes at the deadline
+rounds (lines 18–21), and the fact that decided values originate from the
+round-1 decoding of views (Definition 4) — not only that the final outcome is
+correct.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.condition_kset import ConditionBasedKSetAgreement, StateTriple
+from repro.core.conditions import MaxLegalCondition
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector
+from repro.sync.adversary import CrashEvent, CrashSchedule, crashes_in_round_one
+from repro.sync.runtime import SynchronousSystem
+
+
+def build(n=8, m=10, t=4, d=2, ell=1, k=2):
+    condition = MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
+    algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+    return condition, algorithm
+
+
+class TestLineFourteen:
+    def test_decides_the_sent_value_without_reading(self):
+        """A process whose v_cond was set decides at its next round, even if the
+        messages it receives in that round would have changed its state."""
+        _, algorithm = build()
+        process = algorithm.create_process(0, 8, 4)
+        process.initialize(7)
+        process.message_for_round(1)
+        process.receive_round(1, {0: 7, 1: 7, 2: 7, 3: 3, 4: 2, 5: 7, 6: 1, 7: 5})
+        assert process.state.v_cond == 7
+
+        payload = process.message_for_round(2)
+        assert isinstance(payload, StateTriple) and payload.v_cond == 7
+        # Deliver a *different* (larger) condition value: it must be ignored.
+        process.receive_round(2, {1: StateTriple(v_cond=9)})
+        assert process.has_decided()
+        assert process.decision == 7
+        assert process.decision_round == 2
+        assert process.has_halted()
+
+    def test_does_not_decide_at_line_14_without_cond_value(self):
+        _, algorithm = build()
+        process = algorithm.create_process(0, 8, 4)
+        process.initialize(5)
+        process.message_for_round(1)
+        process.receive_round(1, {0: 5, 1: 4, 2: 3})  # too many ⊥ → tmf branch
+        process.message_for_round(2)
+        process.receive_round(2, {0: process.state})
+        # condition round is 2 here (d=2, l=1, k=2) and v_out is ⊥, so it decides
+        # at line 20 with the tmf value, not at line 14.
+        assert process.has_decided()
+        assert process.decision == 5
+        assert process.decision_round == algorithm.condition_decision_round()
+
+
+class TestStateReduction:
+    def test_max_reduction_over_received_states(self):
+        _, algorithm = build(t=4, d=2, ell=1, k=1)
+        process = algorithm.create_process(0, 8, 4)
+        process.initialize(1)
+        process.message_for_round(1)
+        process.receive_round(1, {0: 1, 1: 2, 2: 3})  # 5 bottoms > t−d: tmf = 3
+        assert process.state == StateTriple(v_tmf=3)
+
+        process.message_for_round(2)
+        process.receive_round(
+            2,
+            {
+                1: StateTriple(v_tmf=6),
+                2: StateTriple(v_out=4),
+                3: StateTriple(v_cond=BOTTOM, v_tmf=5, v_out=BOTTOM),
+            },
+        )
+        # Not a deadline round for k=1 (condition round is 3, last round 5):
+        # the process only merges states.
+        assert not process.has_decided()
+        assert process.state.v_tmf == 6
+        assert process.state.v_out == 4
+        assert process.state.v_cond is BOTTOM
+
+    def test_priority_cond_over_tmf_over_out(self):
+        _, algorithm = build(t=4, d=2, ell=1, k=2)
+        deadline = algorithm.last_round()
+        # The process itself takes the v_out branch in round 1 (its view is the
+        # full out-of-condition vector, so its own v_out is 8); the seeded peer
+        # state then exercises each priority level in turn.
+        for seeded_state, expected in [
+            (StateTriple(v_cond=9, v_tmf=5, v_out=7), 9),
+            (StateTriple(v_tmf=5, v_out=7), 5),
+            (StateTriple(v_out=7), 8),
+        ]:
+            process = algorithm.create_process(0, 8, 4)
+            process.initialize(7)
+            process.message_for_round(1)
+            process.receive_round(1, dict(enumerate([1, 2, 3, 4, 5, 6, 7, 8])))  # v_out branch
+            for round_number in range(2, deadline + 1):
+                if process.has_decided():
+                    break
+                process.message_for_round(round_number)
+                process.receive_round(round_number, {1: seeded_state})
+            assert process.has_decided()
+            assert process.decision == expected
+
+
+class TestDecisionProvenance:
+    def test_fast_path_decisions_come_from_the_decoded_set(self):
+        condition, algorithm = build(n=8, m=10, t=4, d=2, ell=1, k=2)
+        vector = InputVector([7, 7, 7, 3, 2, 7, 1, 5])
+        result = SynchronousSystem(8, 4, algorithm).run(
+            vector, crashes_in_round_one(8, 2, delivered_prefix=4)
+        )
+        full_decoded = condition.decode(vector.restrict(range(8)))
+        assert result.decided_values() <= full_decoded
+
+    def test_ell2_condition_can_decide_two_values(self):
+        """With an l = 2 condition and k = 2, both encoded values may be decided
+        when a round-1 crash splits the views — and never a third one."""
+        n, m, t, d, ell, k = 6, 9, 3, 1, 2, 2
+        condition = MaxLegalCondition(n, m, t - d, ell)
+        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        # 9 and 8 are the two encoded values; the crash of p5 (which proposes 9)
+        # after reaching only p0 gives p0 a view decoding {9, 8} and the others
+        # views decoding {8, ...}.
+        vector = InputVector([8, 8, 8, 8, 7, 9])
+        assert condition.contains(vector)
+        schedule = CrashSchedule.from_events([CrashEvent.round_one_prefix(5, 1)])
+        result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
+        assert result.decided_values() <= {8, 9}
+        assert len(result.decided_values()) <= k
+
+    def test_out_branch_decides_a_maximum_of_some_view(self):
+        condition, algorithm = build(n=8, m=12, t=4, d=2, ell=1, k=2)
+        vector = InputVector([1, 2, 3, 4, 5, 6, 7, 12])
+        assert not condition.contains(vector)
+        result = SynchronousSystem(8, 4, algorithm).run(vector)
+        # With no crashes every view is the full vector: the only possible
+        # decision through the v_out class is its maximum.
+        assert result.decided_values() == {12}
+
+
+class TestDeadlineInteraction:
+    def test_condition_round_equals_last_round_when_class_contains_all_vectors(self):
+        """For d = t − l + 1 (the class that contains C_all, Theorem 8) the
+        in-condition bound ⌊(d+l−1)/k⌋ + 1 degenerates to the classical
+        ⌊t/k⌋ + 1 — the sanity check the paper makes at the end of Section 1.2."""
+        n, m, t, ell, k = 9, 12, 6, 2, 2
+        d = t - ell + 1
+        condition = MaxLegalCondition(n, m, t - d, ell)
+        algorithm = ConditionBasedKSetAgreement(
+            condition=condition, t=t, d=d, k=k, enforce_requirements=False
+        )
+        assert algorithm.condition_decision_round() == algorithm.last_round()
+
+    def test_no_decision_before_round_two(self):
+        _, algorithm = build()
+        vector = InputVector([7, 7, 7, 7, 7, 7, 7, 7])
+        result = SynchronousSystem(8, 4, algorithm).run(vector)
+        assert min(result.decision_rounds.values()) == 2

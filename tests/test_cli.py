@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).command == "list"
+        assert parser.parse_args(["run", "E3"]).experiment == "E3"
+        assert parser.parse_args(["lattice", "--n", "4"]).n == 4
+        demo = parser.parse_args(["demo", "--n", "6", "--t", "3", "--crashes", "1"])
+        assert demo.n == 6 and demo.t == 3 and demo.crashes == 1
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E12" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E3"]) == 0
+        output = capsys.readouterr().out
+        assert "Theorem 3" in output
+        assert "[PASS]" in output
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])
+
+    def test_lattice_ascii(self, capsys):
+        assert main(["lattice", "--n", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "wait-free line" in output
+
+    def test_lattice_dot(self, capsys):
+        assert main(["lattice", "--n", "3", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "6", "--t", "3", "--d", "1", "--k", "2", "--crashes", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "decisions" in output
+        assert "rounds executed" in output

@@ -1,0 +1,210 @@
+"""Unit tests for explicit conditions and the implicit max_l condition oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import ExplicitCondition, MaxLegalCondition
+from repro.core.recognizing import MaxValues
+from repro.core.values import BOTTOM, ValueDomain
+from repro.core.vectors import InputVector, View
+from repro.exceptions import (
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+)
+
+
+class TestExplicitCondition:
+    def build(self):
+        vectors = [InputVector([3, 3, 1]), InputVector([2, 2, 1])]
+        return ExplicitCondition(vectors, MaxValues(1), name="demo")
+
+    def test_container_protocol(self):
+        condition = self.build()
+        assert len(condition) == 2
+        assert InputVector([3, 3, 1]) in condition
+        assert InputVector([1, 1, 1]) not in condition
+        assert condition.n == 3
+        assert condition.ell == 1
+        assert condition.name == "demo"
+        assert set(condition) == condition.vectors
+
+    def test_requires_vectors(self):
+        with pytest.raises(EmptyConditionError):
+            ExplicitCondition([])
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(InvalidVectorError):
+            ExplicitCondition([InputVector([1]), InputVector([1, 2])])
+
+    def test_rejects_views(self):
+        with pytest.raises(InvalidVectorError):
+            ExplicitCondition([View([1, BOTTOM])])
+
+    def test_predicate_and_containing_vectors(self):
+        condition = self.build()
+        view = View([3, BOTTOM, 1])
+        assert condition.is_compatible(view)
+        assert condition.vectors_containing(view) == (InputVector([3, 3, 1]),)
+        assert not condition.is_compatible(View([9, BOTTOM, BOTTOM]))
+
+    def test_decode(self):
+        condition = self.build()
+        assert condition.decode(View([3, BOTTOM, 1])) == frozenset({3})
+        assert condition.decode_max(View([BOTTOM, 2, 1])) == 2
+
+    def test_decode_requires_recognizer(self):
+        condition = ExplicitCondition([InputVector([1, 1])])
+        with pytest.raises(InvalidParameterError):
+            condition.decode(View([1, BOTTOM]))
+        with pytest.raises(InvalidParameterError):
+            _ = condition.ell
+
+    def test_with_recognizer(self):
+        bare = ExplicitCondition([InputVector([1, 1])])
+        enriched = bare.with_recognizer(MaxValues(1))
+        assert enriched.ell == 1
+        assert enriched.vectors == bare.vectors
+
+    def test_union_and_subset(self):
+        first = ExplicitCondition([InputVector([1, 1])])
+        second = ExplicitCondition([InputVector([2, 2])])
+        union = first.union(second)
+        assert len(union) == 2
+        assert first.is_subset_of(union)
+        assert not union.is_subset_of(first)
+        with pytest.raises(InvalidVectorError):
+            first.union(ExplicitCondition([InputVector([1, 1, 1])]))
+
+    def test_restrict(self):
+        condition = self.build()
+        restricted = condition.restrict(lambda v: 3 in v.val())
+        assert restricted.vectors == frozenset({InputVector([3, 3, 1])})
+
+    def test_equality_and_hash(self):
+        assert self.build() == self.build()
+        assert len({self.build(), self.build()}) == 1
+
+
+class TestMaxLegalConditionMembership:
+    def test_parameters_validated(self):
+        with pytest.raises(InvalidParameterError):
+            MaxLegalCondition(0, 3, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            MaxLegalCondition(4, 3, -1, 1)
+        with pytest.raises(InvalidParameterError):
+            MaxLegalCondition(4, 3, 4, 1)  # x >= n
+        with pytest.raises(InvalidParameterError):
+            MaxLegalCondition(4, 3, 1, 0)
+
+    def test_domain_shorthand(self):
+        condition = MaxLegalCondition(4, 5, 2, 1)
+        assert condition.domain == ValueDomain(5)
+        assert condition.n == 4
+        assert condition.x == 2
+        assert condition.ell == 1
+        assert "max_1" in condition.name
+
+    def test_membership_ell1(self):
+        condition = MaxLegalCondition(4, 3, 2, 1)
+        assert condition.contains(InputVector([3, 3, 3, 1]))
+        assert not condition.contains(InputVector([3, 3, 1, 1]))
+        assert condition.contains(InputVector([1, 1, 1, 1]))
+
+    def test_membership_ell2(self):
+        condition = MaxLegalCondition(5, 4, 3, 2)
+        # top-2 values {4, 3} occupy 4 > 3 entries.
+        assert condition.contains(InputVector([4, 4, 3, 3, 1]))
+        # top-2 values {4, 3} occupy only 2 entries.
+        assert not condition.contains(InputVector([4, 3, 2, 1, 1]))
+        # fewer than 2 distinct values: always inside.
+        assert condition.contains(InputVector([2, 2, 2, 2, 2]))
+
+    def test_membership_validates_vector(self):
+        condition = MaxLegalCondition(3, 3, 1, 1)
+        with pytest.raises(InvalidVectorError):
+            condition.contains(InputVector([1, 2]))
+        with pytest.raises(InvalidVectorError):
+            condition.contains(InputVector([1, 2, 9]))
+
+    def test_enumeration_matches_membership(self):
+        condition = MaxLegalCondition(4, 3, 2, 1)
+        enumerated = set(condition.enumerate_vectors())
+        assert all(condition.contains(v) for v in enumerated)
+        assert len(enumerated) == condition.size()
+
+    def test_to_explicit_round_trip(self):
+        implicit = MaxLegalCondition(4, 3, 2, 2)
+        explicit = implicit.to_explicit()
+        assert len(explicit) == implicit.size()
+        assert explicit.ell == 2
+
+
+class TestMaxLegalConditionViews:
+    def test_predicate_fills_with_max(self):
+        condition = MaxLegalCondition(4, 3, 2, 1)
+        # [3, 3, ⊥, 1]: filling ⊥ with 3 gives three 3s > x = 2.
+        assert condition.is_compatible(View([3, 3, BOTTOM, 1]))
+        # [3, 2, ⊥, 1]: best completion has the top value only twice.
+        assert not condition.is_compatible(View([3, 2, BOTTOM, 1]))
+
+    def test_predicate_all_bottom_view(self):
+        condition = MaxLegalCondition(4, 3, 2, 1)
+        assert condition.is_compatible(View([BOTTOM] * 4))
+
+    def test_decode_simple(self):
+        condition = MaxLegalCondition(4, 3, 2, 1)
+        assert condition.decode(View([3, 3, BOTTOM, 1])) == frozenset({3})
+        assert condition.decode_max(View([3, 3, BOTTOM, 1])) == 3
+
+    def test_decode_requires_compatibility(self):
+        condition = MaxLegalCondition(4, 3, 2, 1)
+        with pytest.raises(DecodingError):
+            condition.decode(View([3, 2, BOTTOM, 1]))
+
+    def test_decode_matches_explicit_enumeration_ell1(self):
+        implicit = MaxLegalCondition(4, 3, 2, 1)
+        explicit = implicit.to_explicit()
+        views = [
+            View([3, 3, BOTTOM, 1]),
+            View([2, 2, BOTTOM, 2]),
+            View([1, 1, 1, BOTTOM]),
+            View([3, BOTTOM, 3, 3]),
+        ]
+        for view in views:
+            assert implicit.is_compatible(view) == explicit.is_compatible(view)
+            if implicit.is_compatible(view):
+                assert implicit.decode(view) == explicit.decode(view)
+
+    def test_decode_matches_explicit_enumeration_ell2(self):
+        implicit = MaxLegalCondition(5, 3, 3, 2)
+        explicit = implicit.to_explicit()
+        views = [
+            View([3, 3, 2, BOTTOM, BOTTOM]),
+            View([3, 2, 2, BOTTOM, 1]),
+            View([1, 1, BOTTOM, 1, 1]),
+            View([3, BOTTOM, BOTTOM, 2, 1]),
+            View([2, 2, 3, 3, BOTTOM]),
+        ]
+        for view in views:
+            assert implicit.is_compatible(view) == explicit.is_compatible(view)
+            if implicit.is_compatible(view):
+                assert implicit.decode(view) == explicit.decode(view)
+
+    def test_decode_size_bounds(self):
+        """Theorem 1: 1 <= |h_l(J)| <= l when the view has at most x bottoms."""
+        condition = MaxLegalCondition(5, 3, 3, 2)
+        for view in [
+            View([3, 3, 2, BOTTOM, BOTTOM]),
+            View([2, 2, BOTTOM, 2, 1]),
+            View([3, 1, 1, 1, BOTTOM]),
+        ]:
+            if view.bottom_count() <= condition.x and condition.is_compatible(view):
+                decoded = condition.decode(view)
+                assert 1 <= len(decoded) <= condition.ell
+                assert decoded <= view.val()
+
+    def test_repr(self):
+        assert "MaxLegalCondition" in repr(MaxLegalCondition(4, 3, 2, 1))

@@ -1,0 +1,131 @@
+"""Unit tests for the counting formulas (Theorems 3 and 13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counting import (
+    brute_force_condition_size,
+    condition_fraction,
+    max_condition_size,
+    nb_consensus_condition,
+    surjections,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSurjections:
+    def test_small_values(self):
+        assert surjections(0, 0) == 1
+        assert surjections(3, 1) == 1
+        assert surjections(3, 2) == 6
+        assert surjections(3, 3) == 6
+        assert surjections(4, 2) == 14
+        assert surjections(4, 3) == 36
+
+    def test_zero_when_k_exceeds_n(self):
+        assert surjections(2, 3) == 0
+        assert surjections(0, 1) == 0
+
+    def test_relation_to_total_functions(self):
+        # sum_k C(m, k) * Surj(n, k) over k = number of all functions = m^n.
+        from math import comb
+
+        n, m = 5, 3
+        total = sum(comb(m, k) * surjections(n, k) for k in range(0, m + 1))
+        assert total == m**n
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            surjections(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            surjections(2, -1)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize(
+        "n,m,x",
+        [(3, 2, 1), (4, 3, 1), (4, 3, 2), (5, 3, 2), (5, 4, 3), (6, 2, 3), (4, 5, 3)],
+    )
+    def test_matches_enumeration(self, n, m, x):
+        assert nb_consensus_condition(n, m, x) == brute_force_condition_size(n, m, x, 1)
+
+    def test_x_zero_gives_all_vectors(self):
+        assert nb_consensus_condition(4, 3, 0) == 3**4
+        assert nb_consensus_condition(5, 2, 0) == 2**5
+
+    def test_single_value_domain(self):
+        # With m = 1 the only vector is the constant one and it always qualifies.
+        assert nb_consensus_condition(5, 1, 3) == 1
+
+    def test_monotone_in_x(self):
+        sizes = [nb_consensus_condition(5, 3, x) for x in range(0, 5)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            nb_consensus_condition(0, 3, 0)
+        with pytest.raises(InvalidParameterError):
+            nb_consensus_condition(4, 0, 0)
+        with pytest.raises(InvalidParameterError):
+            nb_consensus_condition(4, 3, 4)
+        with pytest.raises(InvalidParameterError):
+            nb_consensus_condition(4, 3, -1)
+
+
+class TestTheorem13:
+    @pytest.mark.parametrize(
+        "n,m,x,ell",
+        [
+            (3, 2, 1, 1),
+            (4, 3, 2, 1),
+            (4, 3, 2, 2),
+            (4, 3, 1, 2),
+            (5, 3, 2, 2),
+            (5, 3, 3, 2),
+            (5, 4, 3, 2),
+            (5, 3, 2, 3),
+            (6, 3, 4, 2),
+            (6, 2, 3, 2),
+            (4, 4, 2, 3),
+        ],
+    )
+    def test_matches_enumeration(self, n, m, x, ell):
+        assert max_condition_size(n, m, x, ell) == brute_force_condition_size(n, m, x, ell)
+
+    def test_reduces_to_theorem3_for_ell1(self):
+        for n, m, x in [(4, 3, 2), (5, 4, 3), (6, 2, 3)]:
+            assert max_condition_size(n, m, x, 1) == nb_consensus_condition(n, m, x)
+
+    def test_all_vectors_when_ell_exceeds_x(self):
+        # When l > x the density property is vacuous: every vector qualifies.
+        assert max_condition_size(4, 3, 1, 2) == 3**4
+        assert max_condition_size(5, 3, 0, 1) == 3**5
+        assert max_condition_size(5, 3, 2, 3) == 3**5
+
+    def test_monotone_in_ell(self):
+        sizes = [max_condition_size(5, 4, 3, ell) for ell in range(1, 5)]
+        assert sizes == sorted(sizes)
+
+    def test_monotone_in_x(self):
+        sizes = [max_condition_size(5, 4, x, 2) for x in range(0, 5)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_matches_oracle_size_method(self):
+        from repro.core.conditions import MaxLegalCondition
+
+        condition = MaxLegalCondition(5, 3, 3, 2)
+        assert condition.size() == len(list(condition.enumerate_vectors()))
+
+
+class TestFraction:
+    def test_fraction_bounds(self):
+        assert condition_fraction(5, 3, 0, 1) == 1.0
+        assert 0 < condition_fraction(5, 3, 3, 1) < 1
+        assert condition_fraction(5, 3, 2, 3) == 1.0
+
+    def test_fraction_consistency(self):
+        n, m, x, ell = 5, 3, 2, 2
+        assert condition_fraction(n, m, x, ell) == pytest.approx(
+            max_condition_size(n, m, x, ell) / m**n
+        )

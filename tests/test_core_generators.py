@@ -1,0 +1,146 @@
+"""Unit tests for the condition generators (paper examples and counterexample families)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generators import (
+    all_vectors_condition,
+    enumerate_all_vectors,
+    max_legal_condition,
+    table1_condition,
+    theorem15_condition,
+    theorem5_condition,
+    theorem7_condition,
+    two_values_condition,
+)
+from repro.core.legality import check_legality, is_legal
+from repro.core.recognizing import MaxValues
+from repro.core.vectors import InputVector
+from repro.exceptions import InvalidParameterError
+
+
+class TestEnumeration:
+    def test_enumerate_all_vectors_count(self):
+        assert len(list(enumerate_all_vectors(3, 2))) == 8
+        assert len(list(enumerate_all_vectors(2, 4))) == 16
+
+    def test_enumerate_accepts_explicit_domains(self):
+        vectors = list(enumerate_all_vectors(2, ["a", "b"]))
+        assert InputVector(["a", "b"]) in vectors
+        assert len(vectors) == 4
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_all_vectors(2, []))
+
+
+class TestTable1:
+    def test_contents(self):
+        condition, recognizer = table1_condition()
+        assert len(condition) == 4
+        assert condition.n == 4
+        assert recognizer.decode_vector(InputVector(["a", "a", "c", "d"])) == {"a"}
+        assert recognizer.decode_vector(InputVector(["a", "b", "d", "d"])) == {"d"}
+
+    def test_pairwise_distances_are_two(self):
+        from repro.core.vectors import hamming_distance
+
+        condition, _ = table1_condition()
+        vectors = sorted(condition.vectors, key=lambda v: tuple(map(str, v.entries)))
+        for i, first in enumerate(vectors):
+            for second in vectors[i + 1 :]:
+                assert hamming_distance(first, second) == 2
+
+    def test_theorem14(self):
+        condition, recognizer = table1_condition()
+        assert check_legality(condition, recognizer, x=1, ell=1)
+        assert not is_legal(condition, 2, 2)
+
+
+class TestTheorem5Family:
+    def test_legal_at_x_not_at_x_plus_one(self):
+        condition = theorem5_condition(4, 3, 2, 1)
+        assert check_legality(condition, condition.recognizer, x=2, ell=1, max_subset_size=3)
+        assert not is_legal(condition, 3, 1, max_subset_size=2)
+
+    def test_every_vector_has_tight_density(self):
+        condition = theorem5_condition(4, 3, 2, 1)
+        for vector in condition:
+            top = condition.recognizer.decode_vector(vector)
+            assert vector.occurrences_of_set(top) == 3  # exactly x + 1
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            theorem5_condition(2, 2, 0, 3)
+
+
+class TestTheorem7Family:
+    def test_legal_at_ell_plus_one_not_at_ell(self):
+        condition = theorem7_condition(4, 3, 2, 1)
+        assert check_legality(condition, condition.recognizer, x=2, ell=2, max_subset_size=3)
+        assert not is_legal(condition, 2, 1, max_subset_size=2)
+
+    def test_no_single_value_is_dense_enough(self):
+        condition = theorem7_condition(4, 3, 2, 1)
+        for vector in condition:
+            assert max(vector.occurrences(v) for v in vector.val()) <= 2
+
+
+class TestTheorem15Family:
+    def test_structure(self):
+        condition, recognizer = theorem15_condition(n=6, x=3, ell=2)
+        assert len(condition) == 3  # l + 1 vectors
+        head_length = 3 - 2 + 1
+        vectors = sorted(condition.vectors, key=lambda v: v.entries)
+        for index, vector in enumerate(vectors, start=1):
+            assert set(vector.entries[:head_length]) == {index}
+            assert list(vector.entries[head_length:]) == [1, 2, 3, 4]
+        assert recognizer.ell == 3
+
+    def test_legality_claims(self):
+        condition, recognizer = theorem15_condition(n=6, x=3, ell=2)
+        assert check_legality(condition, recognizer, x=4, ell=3)
+        assert not is_legal(condition, 3, 2)
+
+    def test_smallest_instance(self):
+        condition, recognizer = theorem15_condition(n=4, x=2, ell=1)
+        assert len(condition) == 2
+        assert check_legality(condition, recognizer, x=3, ell=2)
+        assert not is_legal(condition, 2, 1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theorem15_condition(n=4, x=2, ell=3)  # l > x
+        with pytest.raises(InvalidParameterError):
+            theorem15_condition(n=3, x=2, ell=1)  # n < x + 2
+        with pytest.raises(InvalidParameterError):
+            theorem15_condition(n=4, x=2, ell=0)
+
+
+class TestOtherGenerators:
+    def test_all_vectors_condition(self):
+        condition = all_vectors_condition(3, 2, ell=2)
+        assert len(condition) == 8
+        assert condition.ell == 2
+        assert check_legality(condition, MaxValues(2), x=1, ell=2, max_subset_size=2)
+
+    def test_max_legal_condition_factory(self):
+        condition = max_legal_condition(4, 3, 2, 1)
+        assert condition.n == 4
+        assert condition.x == 2
+        assert condition.ell == 1
+
+    def test_two_values_condition(self):
+        condition = two_values_condition(4, 3)
+        assert all(v.distinct_value_count() == 2 for v in condition)
+        assert condition.ell == 2
+        # The introduction's point: it is fine for 2-set agreement whatever the
+        # number of crashes — with max_2 every vector has full density.
+        assert check_legality(
+            condition, MaxValues(2), x=3, ell=2, max_subset_size=2
+        )
+
+    def test_two_values_condition_needs_two_values(self):
+        with pytest.raises(InvalidParameterError):
+            two_values_condition(3, 1)

@@ -1,0 +1,157 @@
+"""Unit tests for the legality-class hierarchy and the synchronous classes (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import (
+    LegalityClass,
+    SynchronousClass,
+    hierarchy_fixed_d,
+    hierarchy_fixed_ell,
+    rounds_in_condition,
+    rounds_outside_condition,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestRoundFormulas:
+    def test_rounds_in_condition_examples(self):
+        # k = l = 1: d + 1 rounds (with the 2-round floor).
+        assert rounds_in_condition(3, 1, 1) == 4
+        assert rounds_in_condition(1, 1, 1) == 2
+        assert rounds_in_condition(0, 1, 1) == 2
+        # The generic pair (k, ⌊d/k⌋ + 1) of Section 1.2 for consensus conditions.
+        assert rounds_in_condition(6, 1, 2) == 4
+        assert rounds_in_condition(6, 1, 3) == 3
+        # The (d+1)-set one-round case: ⌊d/(d+1)⌋ + 1 = 1 → floored to 2
+        # (the algorithm always needs the dissemination round).
+        assert rounds_in_condition(4, 1, 5) == 2
+
+    def test_rounds_in_condition_with_ell(self):
+        assert rounds_in_condition(4, 2, 2) == 3
+        assert rounds_in_condition(4, 3, 2) == 4
+        # d = t − l + 1 (the class containing C_all) recovers ⌊t/k⌋ + 1.
+        t, ell, k = 7, 3, 2
+        d = t - ell + 1
+        assert rounds_in_condition(d, ell, k) == rounds_outside_condition(t, k)
+
+    def test_rounds_outside_condition(self):
+        assert rounds_outside_condition(6, 1) == 7
+        assert rounds_outside_condition(6, 2) == 4
+        assert rounds_outside_condition(6, 3) == 3
+        assert rounds_outside_condition(0, 1) == 2  # floored at two rounds
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            rounds_in_condition(-1, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            rounds_in_condition(1, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            rounds_in_condition(1, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            rounds_outside_condition(-1, 1)
+        with pytest.raises(InvalidParameterError):
+            rounds_outside_condition(1, 0)
+
+
+class TestLegalityClass:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LegalityClass(-1, 1)
+        with pytest.raises(InvalidParameterError):
+            LegalityClass(0, 0)
+
+    def test_inclusion_order(self):
+        base = LegalityClass(3, 2)
+        assert base.is_subclass_of(LegalityClass(3, 2))
+        assert base.is_subclass_of(LegalityClass(2, 2))  # Theorem 4
+        assert base.is_subclass_of(LegalityClass(3, 3))  # Theorem 6
+        assert base.is_subclass_of(LegalityClass(1, 4))
+        assert not base.is_subclass_of(LegalityClass(4, 2))
+        assert not base.is_subclass_of(LegalityClass(3, 1))
+
+    def test_includes_is_converse(self):
+        small, big = LegalityClass(3, 2), LegalityClass(2, 3)
+        assert big.includes(small)
+        assert not small.includes(big)
+
+    def test_diagonal_incomparability(self):
+        """Theorems 14 and 15: (x, l) and (x+1, l+1) are not comparable."""
+        first, second = LegalityClass(1, 1), LegalityClass(2, 2)
+        assert not first.is_subclass_of(second)
+        assert not second.is_subclass_of(first)
+        assert not first.is_comparable_with(second)
+
+    def test_all_vectors_frontier(self):
+        assert LegalityClass(1, 2).contains_all_vectors_condition()
+        assert not LegalityClass(2, 2).contains_all_vectors_condition()
+        assert LegalityClass(0, 1).contains_all_vectors_condition()
+
+    def test_label_and_order(self):
+        assert LegalityClass(2, 1).label() == "[2,1]"
+        assert sorted([LegalityClass(2, 1), LegalityClass(1, 1)])[0] == LegalityClass(1, 1)
+
+
+class TestSynchronousClass:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SynchronousClass(t=3, d=4, ell=1)
+        with pytest.raises(InvalidParameterError):
+            SynchronousClass(t=3, d=-1, ell=1)
+        with pytest.raises(InvalidParameterError):
+            SynchronousClass(t=3, d=1, ell=0)
+
+    def test_x_and_difficulty(self):
+        cls = SynchronousClass(t=6, d=2, ell=1)
+        assert cls.x == 4
+        assert cls.difficulty == 4
+        assert cls.legality_class() == LegalityClass(4, 1)
+        assert cls.label() == "S^2_6[1]"
+
+    def test_inclusion_within_a_system(self):
+        smaller = SynchronousClass(t=6, d=2, ell=1)
+        larger = SynchronousClass(t=6, d=4, ell=1)
+        assert smaller.is_subclass_of(larger)
+        assert not larger.is_subclass_of(smaller)
+        with pytest.raises(InvalidParameterError):
+            smaller.is_subclass_of(SynchronousClass(t=5, d=2, ell=1))
+
+    def test_all_vectors_membership(self):
+        # C_all ∈ S^d_t[l] iff l > t − d.
+        assert SynchronousClass(t=5, d=5, ell=1).contains_all_vectors_condition()
+        assert SynchronousClass(t=5, d=3, ell=3).contains_all_vectors_condition()
+        assert not SynchronousClass(t=5, d=3, ell=2).contains_all_vectors_condition()
+
+    def test_supports_k(self):
+        cls = SynchronousClass(t=6, d=3, ell=2)
+        assert cls.supports_k(2)
+        assert cls.supports_k(3)
+        assert not cls.supports_k(1)  # l > k
+        assert not SynchronousClass(t=6, d=5, ell=2).supports_k(3)  # l > t − d
+
+    def test_round_bounds(self):
+        cls = SynchronousClass(t=6, d=3, ell=2)
+        assert cls.rounds_in_condition(2) == 3
+        assert cls.rounds_outside_condition(2) == 4
+        assert cls.rounds_fast_path() == 2
+
+
+class TestHierarchies:
+    def test_fixed_ell_chain(self):
+        chain = hierarchy_fixed_ell(t=4, ell=1)
+        assert [cls.d for cls in chain] == [0, 1, 2, 3, 4]
+        assert all(
+            chain[i].is_subclass_of(chain[i + 1]) for i in range(len(chain) - 1)
+        )
+
+    def test_fixed_d_chain(self):
+        chain = hierarchy_fixed_d(t=4, d=2, max_ell=4)
+        assert [cls.ell for cls in chain] == [1, 2, 3, 4]
+        assert all(
+            chain[i].is_subclass_of(chain[i + 1]) for i in range(len(chain) - 1)
+        )
+
+    def test_fixed_d_needs_positive_max_ell(self):
+        with pytest.raises(InvalidParameterError):
+            hierarchy_fixed_d(t=4, d=2, max_ell=0)

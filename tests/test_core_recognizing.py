@@ -1,0 +1,129 @@
+"""Unit tests for recognizing functions and their extension to views (Definitions 2–4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.recognizing import (
+    FunctionRecognizer,
+    MappingRecognizer,
+    MaxValues,
+    MinValues,
+    extend_to_view,
+)
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector, View
+from repro.exceptions import DecodingError, InvalidParameterError, InvalidVectorError
+
+
+class TestMaxMinValues:
+    def test_max_values_basic(self):
+        vector = InputVector([4, 1, 4, 9, 2])
+        assert MaxValues(1).decode_vector(vector) == frozenset({9})
+        assert MaxValues(2).decode_vector(vector) == frozenset({9, 4})
+        assert MaxValues(10).decode_vector(vector) == frozenset({9, 4, 2, 1})
+
+    def test_min_values_basic(self):
+        vector = InputVector([4, 1, 4, 9, 2])
+        assert MinValues(1).decode_vector(vector) == frozenset({1})
+        assert MinValues(2).decode_vector(vector) == frozenset({1, 2})
+
+    def test_degree_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MaxValues(0)
+        with pytest.raises(InvalidParameterError):
+            MinValues(-1)
+
+    def test_callable_interface(self):
+        vector = InputVector([1, 2])
+        assert MaxValues(1)(vector) == frozenset({2})
+
+    def test_validity_helper(self):
+        vector = InputVector([5, 5, 2])
+        assert MaxValues(1).satisfies_validity(vector)
+        assert MaxValues(2).satisfies_validity(vector)
+        # A constant function missing values fails validity on rich vectors.
+        bad = FunctionRecognizer(2, lambda v: [max(v.val())])
+        assert not bad.satisfies_validity(vector)
+
+    def test_density_helper(self):
+        vector = InputVector([5, 5, 2, 1])
+        assert MaxValues(1).satisfies_density(vector, x=1)
+        assert not MaxValues(1).satisfies_density(vector, x=2)
+        assert MaxValues(2).satisfies_density(vector, x=2)
+
+    def test_repr(self):
+        assert "ell=2" in repr(MaxValues(2))
+
+
+class TestMappingRecognizer:
+    def test_lookup(self):
+        vector = InputVector(["a", "a", "b"])
+        recognizer = MappingRecognizer(1, {vector: {"a"}})
+        assert recognizer.decode_vector(vector) == frozenset({"a"})
+        assert recognizer.domain() == frozenset({vector})
+        assert recognizer.table[vector] == frozenset({"a"})
+
+    def test_unknown_vector(self):
+        recognizer = MappingRecognizer(1, {InputVector([1, 1]): {1}})
+        with pytest.raises(DecodingError):
+            recognizer.decode_vector(InputVector([2, 2]))
+
+    def test_rejects_oversized_sets(self):
+        with pytest.raises(InvalidParameterError):
+            MappingRecognizer(1, {InputVector([1, 2]): {1, 2}})
+
+    def test_rejects_non_vector_keys(self):
+        with pytest.raises(InvalidVectorError):
+            MappingRecognizer(1, {(1, 2): {1}})
+
+
+class TestFunctionRecognizer:
+    def test_custom_function(self):
+        recognizer = FunctionRecognizer(1, lambda v: [min(v.val())], name="min")
+        assert recognizer.decode_vector(InputVector([3, 1, 2])) == frozenset({1})
+        assert "min" in repr(recognizer)
+
+    def test_oversized_result_rejected(self):
+        recognizer = FunctionRecognizer(1, lambda v: list(v.val()))
+        with pytest.raises(DecodingError):
+            recognizer.decode_vector(InputVector([1, 2, 3]))
+
+
+class TestExtendToView:
+    def test_extension_intersects_over_containing_vectors(self):
+        i1 = InputVector(["a", "a", "c", "d"])
+        i2 = InputVector(["a", "a", "d", "d"])
+        recognizer = MappingRecognizer(1, {i1: {"a"}, i2: {"a"}})
+        view = View(["a", "a", BOTTOM, "d"])
+        assert extend_to_view(recognizer, [i1, i2], view) == frozenset({"a"})
+
+    def test_extension_respects_val_of_view(self):
+        # The decoded value must also appear in the view itself.
+        i1 = InputVector(["a", "b", "b"])
+        recognizer = MappingRecognizer(1, {i1: {"b"}})
+        view = View(["a", BOTTOM, BOTTOM])
+        assert extend_to_view(recognizer, [i1], view) == frozenset()
+
+    def test_extension_undefined_when_no_containing_vector(self):
+        i1 = InputVector([1, 1, 2])
+        recognizer = MappingRecognizer(1, {i1: {1}})
+        with pytest.raises(DecodingError):
+            extend_to_view(recognizer, [i1], View([9, BOTTOM, BOTTOM]))
+
+    def test_extension_checks_bottom_budget(self):
+        i1 = InputVector([1, 1, 2])
+        recognizer = MappingRecognizer(1, {i1: {1}})
+        with pytest.raises(DecodingError):
+            extend_to_view(recognizer, [i1], View([BOTTOM, BOTTOM, 2]), x=1)
+
+    def test_theorem1_non_empty_on_table1(self, table1):
+        """Theorem 1: with ≤ x bottoms the decoded set is non-empty and ≤ l."""
+        condition, recognizer = table1
+        x = 1
+        for vector in condition.vectors:
+            for hidden in range(len(vector)):
+                view = vector.restrict(set(range(len(vector))) - {hidden})
+                decoded = extend_to_view(recognizer, condition.vectors, view, x=x)
+                assert 1 <= len(decoded) <= 1
+                assert decoded <= view.val() or decoded <= vector.val()

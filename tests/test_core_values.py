@@ -1,0 +1,113 @@
+"""Unit tests for the value domain and the ⊥ placeholder."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.values import BOTTOM, Bottom, ValueDomain, is_bottom
+from repro.exceptions import InvalidParameterError
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+        assert Bottom() is Bottom()
+
+    def test_equality(self):
+        assert BOTTOM == Bottom()
+        assert BOTTOM != 0
+        assert BOTTOM != "⊥"
+        assert not (BOTTOM == 3)
+
+    def test_is_smaller_than_every_value(self):
+        assert BOTTOM < 0
+        assert BOTTOM < -100
+        assert BOTTOM < "a"
+        assert BOTTOM <= BOTTOM
+        assert not (BOTTOM < BOTTOM)
+        assert not (BOTTOM > 5)
+        assert BOTTOM >= BOTTOM
+
+    def test_values_compare_greater_than_bottom(self):
+        # The reflected comparisons must also work: max() relies on them.
+        assert 3 > BOTTOM
+        assert "z" > BOTTOM
+        assert max([BOTTOM, 2, BOTTOM, 7, 1]) == 7
+        assert max([BOTTOM, BOTTOM]) is BOTTOM
+
+    def test_is_falsy(self):
+        assert not BOTTOM
+        assert bool(BOTTOM) is False
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_hashable_and_stable(self):
+        assert hash(BOTTOM) == hash(Bottom())
+        assert len({BOTTOM, Bottom()}) == 1
+
+    def test_pickle_preserves_singleton(self):
+        clone = pickle.loads(pickle.dumps(BOTTOM))
+        assert clone is BOTTOM
+
+    def test_is_bottom_helper(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(0)
+        assert not is_bottom(None)
+        assert not is_bottom("bottom")
+
+
+class TestValueDomain:
+    def test_basic_iteration(self):
+        domain = ValueDomain(4)
+        assert list(domain) == [1, 2, 3, 4]
+        assert len(domain) == 4
+        assert domain.size == 4
+        assert domain.min_value == 1
+        assert domain.max_value == 4
+
+    def test_membership(self):
+        domain = ValueDomain(3)
+        assert 1 in domain
+        assert 3 in domain
+        assert 0 not in domain
+        assert 4 not in domain
+        assert BOTTOM not in domain
+        assert True not in domain  # booleans are not domain values
+        assert "2" not in domain
+
+    def test_indexing(self):
+        domain = ValueDomain(5)
+        assert domain[0] == 1
+        assert domain[-1] == 5
+        assert list(domain[1:3]) == [2, 3]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidParameterError):
+            ValueDomain(0)
+        with pytest.raises(InvalidParameterError):
+            ValueDomain(-2)
+        with pytest.raises(InvalidParameterError):
+            ValueDomain("three")
+
+    def test_equality_and_hash(self):
+        assert ValueDomain(3) == ValueDomain(3)
+        assert ValueDomain(3) != ValueDomain(4)
+        assert len({ValueDomain(3), ValueDomain(3), ValueDomain(4)}) == 2
+
+    def test_values_greater_than(self):
+        domain = ValueDomain(5)
+        assert list(domain.values_greater_than(3)) == [4, 5]
+        assert domain.count_greater_than(3) == 2
+        assert domain.count_greater_than(5) == 0
+        assert domain.count_greater_than(0) == 5
+
+    def test_validate_value(self):
+        domain = ValueDomain(3)
+        domain.validate_value(2)
+        with pytest.raises(InvalidParameterError):
+            domain.validate_value(9)
+        with pytest.raises(InvalidParameterError):
+            domain.validate_value(BOTTOM)

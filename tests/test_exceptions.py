@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy: every library error is a ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AdversaryError,
+    AgreementViolationError,
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+    LegalityError,
+    ProtocolStateError,
+    ReproError,
+    SimulationError,
+)
+
+
+ALL_ERRORS = [
+    AdversaryError,
+    AgreementViolationError,
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+    LegalityError,
+    ProtocolStateError,
+    SimulationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_every_error_derives_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        assert issubclass(error_type, Exception)
+
+    def test_errors_are_distinct(self):
+        assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(ReproError):
+            raise DecodingError("boom")
+
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_message_is_preserved(self, error_type):
+        with pytest.raises(error_type, match="details"):
+            raise error_type("some details")
+
+
+class TestLibraryRaisesItsOwnErrors:
+    """A sample of operations whose failures must surface as ReproError subclasses."""
+
+    def test_vector_errors(self):
+        from repro.core.vectors import InputVector, View
+        from repro.core.values import BOTTOM
+
+        with pytest.raises(ReproError):
+            View([])
+        with pytest.raises(ReproError):
+            InputVector([1, BOTTOM])
+
+    def test_condition_errors(self):
+        from repro.core.conditions import ExplicitCondition, MaxLegalCondition
+        from repro.core.vectors import View
+
+        with pytest.raises(ReproError):
+            ExplicitCondition([])
+        with pytest.raises(ReproError):
+            MaxLegalCondition(3, 3, 5, 1)
+        with pytest.raises(ReproError):
+            MaxLegalCondition(4, 3, 2, 1).decode(View([3, 2, 1, 1]))
+
+    def test_simulation_errors(self):
+        from repro.sync.adversary import crashes_in_round_one
+        from repro.sync.runtime import SynchronousSystem
+        from repro.algorithms.classic_kset import FloodMinKSetAgreement
+
+        system = SynchronousSystem(4, 1, FloodMinKSetAgreement(t=1, k=1))
+        with pytest.raises(ReproError):
+            system.run([1, 2, 3, 4], crashes_in_round_one(4, 2, 0))

@@ -1,0 +1,135 @@
+"""Hypothesis property tests for the agreement algorithms.
+
+Randomly generated input vectors and crash schedules must never violate
+termination, validity, k-agreement, or the round bounds proved in the paper.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.classic_kset import FloodMinKSetAgreement
+from repro.algorithms.condition_kset import ConditionBasedKSetAgreement
+from repro.algorithms.early_deciding_kset import EarlyDecidingKSetAgreement
+from repro.analysis.properties import assert_execution_correct, check_execution
+from repro.core.conditions import MaxLegalCondition
+from repro.core.hierarchy import rounds_in_condition, rounds_outside_condition
+from repro.core.vectors import InputVector
+from repro.sync.adversary import CrashEvent, CrashSchedule
+from repro.sync.runtime import SynchronousSystem
+
+# One fixed system shape keeps the state space meaningful while letting
+# Hypothesis explore vectors and schedules freely.
+N, M, T, D, ELL, K = 7, 8, 4, 2, 1, 2
+X = T - D
+CONDITION = MaxLegalCondition(N, M, X, ELL)
+ALGORITHM = ConditionBasedKSetAgreement(condition=CONDITION, t=T, d=D, k=K)
+LAST_ROUND = ALGORITHM.last_round()
+
+
+vectors = st.lists(
+    st.integers(min_value=1, max_value=M), min_size=N, max_size=N
+).map(InputVector)
+
+
+@st.composite
+def schedules(draw):
+    """Up to T crash events with valid round-1 prefixes and arbitrary later subsets."""
+    victim_count = draw(st.integers(min_value=0, max_value=T))
+    victims = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=N - 1),
+            unique=True,
+            min_size=victim_count,
+            max_size=victim_count,
+        )
+    )
+    events = []
+    for victim in victims:
+        round_number = draw(st.integers(min_value=1, max_value=LAST_ROUND))
+        if round_number == 1:
+            prefix = draw(st.integers(min_value=0, max_value=N))
+            events.append(CrashEvent.round_one_prefix(victim, prefix))
+        else:
+            receivers = draw(
+                st.frozensets(st.integers(min_value=0, max_value=N - 1), max_size=N)
+            )
+            events.append(CrashEvent(victim, round_number, receivers))
+    return CrashSchedule.from_events(events)
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, schedules())
+def test_condition_based_algorithm_is_always_safe(vector, schedule):
+    """Termination, validity and k-agreement hold for every vector and schedule."""
+    system = SynchronousSystem(N, T, ALGORITHM)
+    result = system.run(vector, schedule)
+    assert_execution_correct(result, vector, k=K, round_bound=LAST_ROUND)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, schedules())
+def test_condition_based_round_bounds(vector, schedule):
+    """The regime-specific round bounds of Theorem 10 hold."""
+    system = SynchronousSystem(N, T, ALGORITHM)
+    result = system.run(vector, schedule)
+    in_condition = CONDITION.contains(vector)
+    round_one_crashes = schedule.round_one_crash_count()
+    initial_crashes = schedule.initial_crash_count()
+    latest = result.max_decision_round_of_correct()
+    if in_condition:
+        if round_one_crashes <= X:
+            assert latest <= 2
+        else:
+            assert latest <= min(rounds_in_condition(D, ELL, K), LAST_ROUND)
+    else:
+        assert latest <= rounds_outside_condition(T, K)
+        if initial_crashes > X:
+            assert latest <= min(rounds_in_condition(D, ELL, K), LAST_ROUND)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, schedules())
+def test_floodmin_baseline_is_always_safe(vector, schedule):
+    algorithm = FloodMinKSetAgreement(t=T, k=K)
+    result = SynchronousSystem(N, T, algorithm).run(vector, schedule)
+    assert_execution_correct(result, vector, k=K, round_bound=algorithm.decision_round())
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, schedules())
+def test_early_deciding_baseline_is_always_safe(vector, schedule):
+    algorithm = EarlyDecidingKSetAgreement(t=T, k=K)
+    result = SynchronousSystem(N, T, algorithm).run(vector, schedule)
+    assert_execution_correct(result, vector, k=K, round_bound=algorithm.last_round())
+    # Adaptive bound with respect to the *actual* number of crashes.
+    assert result.max_decision_round_of_correct() <= algorithm.early_bound(
+        result.failure_count
+    )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, schedules(), st.integers(min_value=0, max_value=2**16))
+def test_executions_are_deterministic(vector, schedule, _salt):
+    """The engine is a pure function of (vector, schedule)."""
+    first = SynchronousSystem(N, T, ALGORITHM).run(vector, schedule)
+    second = SynchronousSystem(N, T, ALGORITHM).run(vector, schedule)
+    assert first.decisions == second.decisions
+    assert first.decision_rounds == second.decision_rounds
+    assert first.rounds_executed == second.rounds_executed
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors)
+def test_failure_free_runs_decide_in_two_rounds_in_condition(vector):
+    """Failure-free + in-condition: the two-round fast path of Lemma 1."""
+    result = SynchronousSystem(N, T, ALGORITHM).run(vector)
+    report = check_execution(result, vector, K)
+    assert report, report.failures
+    if CONDITION.contains(vector):
+        assert result.max_decision_round_of_correct() == 2
+        decoded = CONDITION.decode(
+            InputVector(vector.entries).restrict(range(N))
+        )
+        assert result.decided_values() <= decoded

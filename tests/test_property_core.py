@@ -1,0 +1,198 @@
+"""Hypothesis property tests for the conditions framework.
+
+These tests assert the structural invariants of Sections 2–3 on randomly
+generated vectors, views and parameters: the analytic oracle of the maximal
+``max_l`` condition agrees with brute-force enumeration, the counting formulas
+agree with enumeration, containment behaves like a partial order, and
+Theorem 1 holds for decodable views.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import MaxLegalCondition
+from repro.core.counting import brute_force_condition_size, max_condition_size
+from repro.core.values import BOTTOM
+from repro.core.vectors import (
+    InputVector,
+    View,
+    generalized_distance,
+    hamming_distance,
+    intersecting_values,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+small_params = st.tuples(
+    st.integers(min_value=2, max_value=5),   # n
+    st.integers(min_value=2, max_value=3),   # m
+).flatmap(
+    lambda nm: st.tuples(
+        st.just(nm[0]),
+        st.just(nm[1]),
+        st.integers(min_value=0, max_value=nm[0] - 1),  # x
+        st.integers(min_value=1, max_value=3),           # ell
+    )
+)
+
+
+def views(n: int, m: int, max_bottoms: int | None = None):
+    """A strategy of views of size n over {1..m} with a bounded number of ⊥."""
+    entry = st.one_of(st.just(BOTTOM), st.integers(min_value=1, max_value=m))
+    strategy = st.lists(entry, min_size=n, max_size=n).map(View)
+    if max_bottoms is not None:
+        strategy = strategy.filter(lambda v: v.bottom_count() <= max_bottoms)
+    return strategy
+
+
+def vectors(n: int, m: int):
+    return st.lists(
+        st.integers(min_value=1, max_value=m), min_size=n, max_size=n
+    ).map(InputVector)
+
+
+# ----------------------------------------------------------------------
+# Vector / view invariants
+# ----------------------------------------------------------------------
+@given(st.integers(2, 6).flatmap(lambda n: st.tuples(vectors(n, 4), vectors(n, 4))))
+def test_hamming_distance_is_a_metric_on_vectors(pair):
+    first, second = pair
+    assert hamming_distance(first, second) == hamming_distance(second, first)
+    assert hamming_distance(first, first) == 0
+    assert 0 <= hamming_distance(first, second) <= len(first)
+    assert (hamming_distance(first, second) == 0) == (first == second)
+
+
+@given(
+    st.integers(2, 5).flatmap(
+        lambda n: st.lists(vectors(n, 3), min_size=2, max_size=4)
+    )
+)
+def test_generalized_distance_bounds(vector_list):
+    distance = generalized_distance(vector_list)
+    n = len(vector_list[0])
+    assert 0 <= distance <= n
+    # d_G dominates every pairwise Hamming distance.
+    for i, first in enumerate(vector_list):
+        for second in vector_list[i + 1 :]:
+            assert hamming_distance(first, second) <= distance
+    # The intersecting vector has exactly n − d_G entries.
+    assert len(intersecting_values(vector_list)) == n - distance
+
+
+@given(st.integers(2, 6).flatmap(lambda n: st.tuples(st.just(n), views(n, 3))))
+def test_view_containment_of_completions(data):
+    n, view = data
+    filled = view.fill_bottoms(3)
+    assert view.contained_in(filled)
+    assert view.bottom_count() + view.non_bottom_count() == n
+    restricted = filled.restrict(view.non_bottom_positions())
+    assert restricted.contained_in(filled)
+
+
+@given(st.integers(2, 5).flatmap(lambda n: st.tuples(views(n, 3), views(n, 3), views(n, 3))))
+def test_containment_is_transitive_and_antisymmetric(triple):
+    a, b, c = triple
+    if a.contained_in(b) and b.contained_in(c):
+        assert a.contained_in(c)
+    if a.contained_in(b) and b.contained_in(a):
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# Counting
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_params)
+def test_counting_formula_matches_enumeration(params):
+    n, m, x, ell = params
+    assert max_condition_size(n, m, x, ell) == brute_force_condition_size(n, m, x, ell)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_params)
+def test_condition_membership_consistent_with_size(params):
+    n, m, x, ell = params
+    condition = MaxLegalCondition(n, m, x, ell)
+    enumerated = list(condition.enumerate_vectors())
+    assert len(enumerated) == condition.size()
+    assert all(condition.contains(v) for v in enumerated)
+
+
+# ----------------------------------------------------------------------
+# The implicit oracle vs the explicit enumeration
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    small_params.flatmap(
+        lambda params: st.tuples(st.just(params), views(params[0], params[1]))
+    )
+)
+def test_maxlegal_oracle_matches_explicit(data):
+    (n, m, x, ell), view = data
+    implicit = MaxLegalCondition(n, m, x, ell)
+    explicit = implicit.to_explicit()
+    assert implicit.is_compatible(view) == explicit.is_compatible(view)
+    if implicit.is_compatible(view):
+        assert implicit.decode(view) == explicit.decode(view)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    small_params.flatmap(
+        lambda params: st.tuples(st.just(params), views(params[0], params[1]))
+    )
+)
+def test_theorem1_on_decodable_views(data):
+    """Theorem 1: views with at most x missing entries decode to 1..l values of the view."""
+    (n, m, x, ell), view = data
+    condition = MaxLegalCondition(n, m, x, ell)
+    if view.bottom_count() > x or not view.val():
+        return
+    if not condition.is_compatible(view):
+        return
+    decoded = condition.decode(view)
+    assert 1 <= len(decoded) <= ell
+    assert decoded <= view.val()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    small_params.flatmap(
+        lambda params: st.tuples(st.just(params), vectors(params[0], params[1]))
+    )
+)
+def test_decode_of_full_member_vector_is_max_ell(data):
+    """On a full vector of the condition, the decoded set is exactly max_l(I)."""
+    (n, m, x, ell), vector = data
+    condition = MaxLegalCondition(n, m, x, ell)
+    if not condition.contains(vector):
+        return
+    view = View(vector.entries)
+    decoded = condition.decode(view)
+    assert decoded == frozenset(vector.greatest_values(ell))
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    small_params.flatmap(
+        lambda params: st.tuples(st.just(params), vectors(params[0], params[1]))
+    )
+)
+def test_decode_monotone_under_containment(data):
+    """For views of a member vector, smaller views can only decode supersets
+    allowed by Definition 4 restricted to val(J); in particular both decode
+    inside max_l(I)."""
+    (n, m, x, ell), vector = data
+    condition = MaxLegalCondition(n, m, x, ell)
+    if not condition.contains(vector) or x == 0:
+        return
+    full_view = View(vector.entries)
+    partial = vector.restrict(range(1, n))  # hide entry 0 (<= x missing since x >= 1)
+    top = frozenset(vector.greatest_values(ell))
+    assert condition.decode(full_view) <= top
+    if condition.is_compatible(partial):
+        assert condition.decode(partial) <= top | partial.val()

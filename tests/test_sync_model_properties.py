@@ -1,0 +1,143 @@
+"""Model-level properties of the synchronous substrate.
+
+The key property the paper's algorithm relies on (Section 6.2) is that the
+round-1 views are ordered by containment because the send phase is ordered and
+a crashing sender only reaches a prefix of the processes.  These tests assert
+that property directly on the engine, including with Hypothesis-generated
+crash schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector, View
+from repro.sync.adversary import CrashEvent, CrashSchedule
+from repro.sync.process import RoundBasedProcess, SynchronousAlgorithm
+from repro.sync.runtime import SynchronousSystem
+
+
+class ViewCollector(RoundBasedProcess):
+    """Records the round-1 view exactly as the Figure 2 algorithm builds it."""
+
+    def __init__(self, process_id: int, n: int, t: int) -> None:
+        super().__init__(process_id, n, t)
+        self.view: View | None = None
+
+    def message_for_round(self, round_number: int) -> Any:
+        return self.proposal
+
+    def receive_round(self, round_number: int, messages: Mapping[int, Any]) -> None:
+        entries = [BOTTOM] * self.n
+        entries[self.process_id] = self.proposal
+        for sender, value in messages.items():
+            entries[sender] = value
+        self.view = View(entries)
+        self.decide(self.proposal, round_number)
+
+
+class ViewCollectorAlgorithm(SynchronousAlgorithm):
+    def create_process(self, process_id: int, n: int, t: int) -> ViewCollector:
+        return ViewCollector(process_id, n, t)
+
+    def max_rounds(self, n: int, t: int) -> int:
+        return 1
+
+
+def run_round_one(n: int, t: int, schedule: CrashSchedule) -> dict[int, View]:
+    system = SynchronousSystem(n, t, ViewCollectorAlgorithm())
+    vector = InputVector(list(range(1, n + 1)))
+    processes: dict[int, View] = {}
+    result = system.run(vector, schedule)
+    # Recover the views through the trace-free API: re-run with a recording
+    # algorithm would be heavier; instead re-create the views from decisions.
+    # Simpler: run again keeping references to the processes.
+    del result
+    collected: dict[int, View] = {}
+
+    class Capturing(ViewCollectorAlgorithm):
+        def create_process(self, process_id: int, n_: int, t_: int) -> ViewCollector:
+            process = ViewCollector(process_id, n_, t_)
+            processes[process_id] = process  # type: ignore[assignment]
+            return process
+
+    SynchronousSystem(n, t, Capturing()).run(vector, schedule)
+    for process_id, process in processes.items():
+        if process.view is not None:
+            collected[process_id] = process.view
+    return collected
+
+
+def schedules_strategy(n: int, t: int):
+    """Random round-1 prefix crash schedules with at most t victims."""
+    victim_sets = st.lists(
+        st.integers(min_value=0, max_value=n - 1), unique=True, max_size=t
+    )
+
+    def build(victims_and_prefixes):
+        victims, prefixes = victims_and_prefixes
+        events = [
+            CrashEvent.round_one_prefix(victim, prefix % (n + 1))
+            for victim, prefix in zip(victims, prefixes)
+        ]
+        return CrashSchedule.from_events(events)
+
+    return victim_sets.flatmap(
+        lambda victims: st.tuples(
+            st.just(victims),
+            st.lists(
+                st.integers(min_value=0, max_value=n),
+                min_size=len(victims),
+                max_size=len(victims),
+            ),
+        )
+    ).map(build)
+
+
+class TestRoundOneContainment:
+    def test_prefix_crash_gives_containment_chain(self):
+        n, t = 5, 3
+        schedule = CrashSchedule.from_events(
+            [
+                CrashEvent.round_one_prefix(4, 2),
+                CrashEvent.round_one_prefix(3, 4),
+            ]
+        )
+        views = run_round_one(n, t, schedule)
+        ids = sorted(views)
+        # Lower-numbered processes receive supersets: V_j ⊆ V_i for i <= j.
+        for i in ids:
+            for j in ids:
+                if i <= j:
+                    assert views[j].contained_in(views[i])
+
+    def test_all_views_contained_in_input_vector(self):
+        n, t = 5, 2
+        schedule = CrashSchedule.from_events([CrashEvent.round_one_prefix(2, 1)])
+        views = run_round_one(n, t, schedule)
+        full = View(list(range(1, n + 1)))
+        for view in views.values():
+            assert view.contained_in(full)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules_strategy(6, 3))
+    def test_containment_holds_for_random_prefix_schedules(self, schedule):
+        views = run_round_one(6, 3, schedule)
+        ordered = [views[pid] for pid in sorted(views)]
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.contained_in(earlier)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules_strategy(6, 3))
+    def test_bottom_counts_match_delivery(self, schedule):
+        views = run_round_one(6, 3, schedule)
+        for pid, view in views.items():
+            missing = view.bottom_positions()
+            for other in missing:
+                event = schedule.events.get(other)
+                assert event is not None and event.round_number == 1
+                assert pid not in event.delivered_to

@@ -1,0 +1,46 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+from repro.sync.trace import ExecutionTrace, RoundRecord
+
+
+class TestRoundRecord:
+    def test_accessors(self):
+        record = RoundRecord(
+            round_number=2,
+            senders=(0, 1),
+            delivered={0: {1: "x"}, 1: {0: "y", 1: "z"}},
+            crashed=(2,),
+            decisions={0: "x"},
+            active_after=(1,),
+        )
+        assert record.messages_received_by(1) == {0: "y", 1: "z"}
+        assert record.messages_received_by(5) == {}
+        assert record.senders_heard_by(0) == frozenset({1})
+        assert record.senders_heard_by(9) == frozenset()
+
+
+class TestExecutionTrace:
+    def build(self) -> ExecutionTrace:
+        trace = ExecutionTrace()
+        trace.record(
+            RoundRecord(1, senders=(0, 1), delivered={0: {0: "a", 1: "b"}}, decisions={})
+        )
+        trace.record(
+            RoundRecord(2, senders=(0,), delivered={1: {0: "a"}}, decisions={1: "a"})
+        )
+        trace.record(RoundRecord(3, senders=(), delivered={}, decisions={0: "a"}))
+        return trace
+
+    def test_round_lookup(self):
+        trace = self.build()
+        assert len(trace) == 3
+        assert trace.round(2).round_number == 2
+        assert [record.round_number for record in trace] == [1, 2, 3]
+
+    def test_total_messages(self):
+        assert self.build().total_messages() == 3
+
+    def test_decision_timeline(self):
+        assert self.build().decision_timeline() == {1: 2, 0: 3}
