@@ -4,8 +4,10 @@
 Section 4 of the paper observes that an (x, l)-legal condition lets l-set
 agreement be solved even in a fully *asynchronous* shared-memory system with
 up to x crashes, while Section 6 uses the very same condition to speed up the
-*synchronous* algorithm.  This script demonstrates both sides with the same
-condition and the same input vector:
+*synchronous* algorithm.  This script demonstrates both sides through the
+**same engine**: one :class:`repro.api.AgreementSpec`, one algorithm key
+(``"condition-kset"``), and ``engine.run(..., backend=...)`` switching between
+the two models:
 
 * asynchronous run — x processes never take a step, the others decide via
   snapshots of the shared memory (and the run provably cannot block);
@@ -23,28 +25,27 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ConditionBasedKSetAgreement, MaxLegalCondition, SynchronousSystem
-from repro.algorithms import run_async_condition_set_agreement
+from repro import AgreementSpec, Engine
 from repro.analysis import check_execution
-from repro.sync import crashes_in_round_one
+from repro.sync import crashes_in_round_one, initial_crashes
 from repro.workloads import vector_in_max_condition, vector_outside_max_condition
 
 
 def main() -> None:
     n, m, x, ell = 8, 10, 3, 2
     t, d, k = 6, 3, 3  # so that x = t − d
-    condition = MaxLegalCondition(n=n, domain=m, x=x, ell=ell)
+    spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+    engine = Engine(spec, "condition-kset")
     inside = vector_in_max_condition(n, m, x, ell, 7)
     outside = vector_outside_max_condition(n, m, x, ell, 7)
 
-    print(f"condition            : {condition.name}")
+    print(f"condition            : {engine.condition.name}")
     print(f"in-condition vector  : {list(inside.entries)}")
     print(f"outside vector       : {list(outside.entries)}")
 
     # --- asynchronous, input in the condition --------------------------------
-    async_result = run_async_condition_set_agreement(
-        condition, x, inside, crashed=(0, 1, 2), seed=13
-    )
+    never_scheduled = initial_crashes(3, (0, 1, 2))
+    async_result = engine.run(inside, never_scheduled, backend="async", seed=13)
     report = check_execution(async_result, inside, ell)
     print("\n--- asynchronous shared memory, input in C, 3 crashed processes ---")
     print(f"terminated           : {async_result.terminated}")
@@ -52,19 +53,18 @@ def main() -> None:
     print(f"distinct values      : {sorted(async_result.decided_values())} (l = {ell})")
     print(f"properties           : {'all hold' if report else report.failures}")
 
-    # --- synchronous, same condition -------------------------------------------
-    algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
-    sync_result = SynchronousSystem(n, t, algorithm).run(
-        inside, crashes_in_round_one(n, t, delivered_prefix=1)
+    # --- synchronous, same condition, same engine ------------------------------
+    sync_result = engine.run(
+        inside, crashes_in_round_one(n, t, delivered_prefix=1), backend="sync"
     )
     print("\n--- synchronous rounds, same condition, 6 round-1 crashes ---")
-    print(f"rounds executed      : {sync_result.rounds_executed}")
-    print(f"bound (input in C)   : {algorithm.condition_decision_round()}")
+    print(f"rounds executed      : {sync_result.duration}")
+    print(f"bound (input in C)   : {spec.in_condition_bound()}")
     print(f"decisions            : {dict(sorted(sync_result.decisions.items()))}")
 
     # --- asynchronous, input outside the condition -------------------------------
-    blocked = run_async_condition_set_agreement(
-        condition, x, outside, crashed=(0, 1, 2), seed=13, max_steps_per_process=60
+    blocked = engine.run(
+        outside, never_scheduled, backend="async", seed=13, max_steps=60
     )
     print("\n--- asynchronous shared memory, input outside C ---")
     print(f"terminated           : {blocked.terminated}")

@@ -10,7 +10,10 @@ walks the two hierarchies of Section 5:
 * fixed d, increasing l — same trade-off along the other axis, down to the
   class that contains the condition made of all input vectors (l > t − d).
 
-It also prints the ASCII rendering of Figure 1 and the Graphviz DOT document.
+It also prints the ASCII rendering of Figure 1 and the Graphviz DOT document,
+and closes with a **measured** counterpart of the analytic tables: one
+:meth:`repro.api.Engine.sweep` over the degree ``d``, each cell batching a few
+in-condition executions and reporting the worst observed decision duration.
 
 Run with::
 
@@ -19,6 +22,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro import AgreementSpec, Engine
 from repro.analysis import format_table
 from repro.core import (
     ConditionLattice,
@@ -71,11 +75,38 @@ def hierarchy_fixed_d_table(n: int, m: int, t: int, d: int, k: int) -> str:
     )
 
 
+def measured_sweep_table(n: int, m: int, t: int, ell: int, k: int) -> str:
+    """Round measurements along the d axis, via one Engine.sweep call."""
+    base = AgreementSpec(n=n, t=t, k=k, d=1, ell=ell, domain=m)
+    engine = Engine(base, "condition-kset")
+    rows = []
+    for cell in engine.sweep({"d": tuple(range(1, t))}, runs_per_cell=4, schedule="staggered"):
+        if cell.error is not None:
+            rows.append({"d": cell.overrides.get("d"), "worst rounds measured": cell.error})
+            continue
+        rows.append(
+            {
+                "d": cell.spec.d,
+                "runs": cell.runs,
+                "all in C": cell.in_condition_count() == cell.runs,
+                "worst rounds measured": cell.worst_duration(),
+                "bound if input in C": cell.spec.in_condition_bound(),
+                "classical bound": cell.spec.outside_condition_bound(),
+            }
+        )
+    return format_table(
+        rows,
+        title=f"Measured sweep along d (n={n}, m={m}, t={t}, l={ell}, k={k}, staggered adversary)",
+    )
+
+
 def main() -> None:
     n, m, t, k = 10, 8, 6, 3
     print(hierarchy_fixed_ell_table(n, m, t, ell=1, k=k))
     print()
     print(hierarchy_fixed_d_table(n, m, t, d=3, k=k))
+    print()
+    print(measured_sweep_table(n, m, t, ell=1, k=k))
     print()
     lattice = ConditionLattice(6)
     print("Figure 1 (ASCII rendering, n = 6):")

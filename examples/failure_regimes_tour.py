@@ -16,9 +16,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ConditionBasedKSetAgreement, SynchronousSystem
+from repro import RunResult
 from repro.analysis import assert_execution_correct
-from repro.sync.runtime import ExecutionResult
 from repro.workloads import (
     Scenario,
     degraded_path_scenario,
@@ -27,14 +26,14 @@ from repro.workloads import (
 )
 
 
-def narrate(scenario: Scenario, result: ExecutionResult) -> None:
+def narrate(scenario: Scenario, result: RunResult) -> None:
     print(f"--- {scenario.name} ---")
     print(f"  {scenario.description}")
     print(f"  input vector      : {list(scenario.input_vector.entries)}")
-    print(f"  in the condition  : {scenario.condition.contains(scenario.input_vector)}")
+    print(f"  in the condition  : {result.in_condition}")
     print(f"  crash schedule    : {len(scenario.schedule)} crash(es)")
     print(f"  predicted bound   : {scenario.predicted_round_bound} round(s)")
-    print(f"  rounds executed   : {result.rounds_executed}")
+    print(f"  rounds executed   : {result.duration}")
     print(f"  decided values    : {sorted(result.decided_values())} (k = {scenario.k})")
     if result.trace is not None:
         for record in result.trace:
@@ -50,16 +49,8 @@ def narrate(scenario: Scenario, result: ExecutionResult) -> None:
 
 
 def run(scenario: Scenario) -> None:
-    algorithm = ConditionBasedKSetAgreement(
-        condition=scenario.condition,
-        t=scenario.t,
-        d=scenario.d,
-        k=scenario.k,
-    )
-    system = SynchronousSystem(
-        n=scenario.n, t=scenario.t, algorithm=algorithm, record_trace=True
-    )
-    result = system.run(scenario.input_vector, scenario.schedule)
+    # One line per regime: the scenario carries the spec, the engine runs it.
+    result = scenario.run("condition-kset", record_trace=True)
     assert_execution_correct(
         result, scenario.input_vector, scenario.k, scenario.predicted_round_bound
     )

@@ -8,6 +8,11 @@ unanimous — exactly the kind of input vector that belongs to a condition of
 degree d = 2.  When that is the case the condition-based algorithm decides in
 2 rounds instead of the classical ⌊t/k⌋ + 1 = 3.
 
+Everything goes through the unified :class:`repro.api.Engine`: one frozen
+:class:`repro.api.AgreementSpec` describes the instance, the algorithm is
+picked by registry key, and ``engine.run`` returns a normalized
+:class:`repro.api.RunResult` whatever the backend.
+
 Run with::
 
     python examples/quickstart.py
@@ -15,44 +20,35 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    ConditionBasedKSetAgreement,
-    InputVector,
-    MaxLegalCondition,
-    SynchronousSystem,
-)
+from repro import AgreementSpec, Engine, InputVector
 from repro.sync import crashes_in_round_one
 
 
 def main() -> None:
-    n, t, d, ell, k = 8, 4, 2, 1, 2
-
-    # The condition: "the greatest proposed value appears more than t − d times".
-    condition = MaxLegalCondition(n=n, domain=10, x=t - d, ell=ell)
+    spec = AgreementSpec(n=8, t=4, k=2, d=2, ell=1, domain=10)
+    engine = Engine(spec, "condition-kset")
 
     # Proposals: epoch 7 is already dominant (6 of 8 replicas agree on it).
     proposals = InputVector([7, 7, 7, 3, 2, 7, 1, 7])
     print(f"proposals           : {list(proposals.entries)}")
-    print(f"input in condition  : {condition.contains(proposals)}")
-
-    algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
-    system = SynchronousSystem(n=n, t=t, algorithm=algorithm)
+    print(f"spec                : {spec.describe()}")
 
     # Failure-free run: the 2-round fast path.
-    result = system.run(proposals)
+    result = engine.run(proposals)
     print("\n--- failure-free run ---")
-    print(f"rounds executed     : {result.rounds_executed}")
+    print(f"input in condition  : {result.in_condition}")
+    print(f"rounds executed     : {result.duration}")
     print(f"decisions           : {dict(sorted(result.decisions.items()))}")
 
     # Same input, but t processes crash during the very first round.
-    stormy = crashes_in_round_one(n, t, delivered_prefix=2)
-    result = system.run(proposals, stormy)
+    stormy = crashes_in_round_one(spec.n, spec.t, delivered_prefix=2)
+    result = engine.run(proposals, stormy)
     print("\n--- 4 crashes during round 1 ---")
-    print(f"rounds executed     : {result.rounds_executed}")
+    print(f"rounds executed     : {result.duration}")
     print(f"decisions           : {dict(sorted(result.decisions.items()))}")
-    print(f"distinct values     : {sorted(result.decided_values())} (k = {k})")
-    print(f"paper bound         : {algorithm.condition_decision_round()} rounds (input in C)")
-    print(f"classical bound     : {algorithm.last_round()} rounds (input outside C)")
+    print(f"distinct values     : {sorted(result.decided_values())} (k = {spec.k})")
+    print(f"paper bound         : {spec.in_condition_bound()} rounds (input in C)")
+    print(f"classical bound     : {spec.outside_condition_bound()} rounds (input outside C)")
 
 
 if __name__ == "__main__":

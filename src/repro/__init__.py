@@ -14,10 +14,23 @@ The package is organised as follows:
   algorithm of Figure 2 plus the classical baselines it generalises;
 * :mod:`repro.workloads` — input-vector and crash-scenario generators;
 * :mod:`repro.analysis` — agreement property checkers, round-complexity
-  measurements and the experiment harness used by the benchmarks.
+  measurements and the experiment harness used by the benchmarks;
+* :mod:`repro.api` — the unified entry point: frozen specs, string-keyed
+  algorithm/schedule registries and the :class:`~repro.api.Engine` façade
+  with single, batched and swept execution on both backends.
 
-Quickstart
-----------
+Quickstart (the unified API)
+----------------------------
+
+>>> from repro import AgreementSpec, Engine
+>>> spec = AgreementSpec(n=8, t=4, k=2, d=2, ell=1, domain=10)
+>>> engine = Engine(spec, "condition-kset")
+>>> result = engine.run([7, 7, 7, 3, 2, 7, 1, 7])
+>>> sorted(result.decided_values())
+[7]
+
+Quickstart (the underlying layers)
+----------------------------------
 
 >>> from repro import (
 ...     MaxLegalCondition, ConditionBasedKSetAgreement, SynchronousSystem,
@@ -38,12 +51,14 @@ True
 from .exceptions import (
     AdversaryError,
     AgreementViolationError,
+    BackendError,
     DecodingError,
     EmptyConditionError,
     InvalidParameterError,
     InvalidVectorError,
     LegalityError,
     ProtocolStateError,
+    RegistryError,
     ReproError,
     SimulationError,
 )
@@ -73,6 +88,7 @@ __all__ = [
     "AdversaryError",
     "AgreementViolationError",
     "BOTTOM",
+    "BackendError",
     "ConditionLattice",
     "ConditionOracle",
     "DecodingError",
@@ -87,6 +103,7 @@ __all__ = [
     "MaxValues",
     "MinValues",
     "ProtocolStateError",
+    "RegistryError",
     "ReproError",
     "SimulationError",
     "SynchronousClass",
@@ -101,35 +118,48 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
-    """Lazily expose the simulator and algorithm entry points.
+#: Lazily exposed entry points: attribute name -> (module, attribute).
+#: The heavy subpackages (sync, asynchronous, algorithms, analysis, api) are
+#: imported on first use so that ``import repro`` stays cheap for users who
+#: only need the conditions framework.
+_LAZY_EXPORTS = {
+    "SynchronousSystem": ("repro.sync", "SynchronousSystem"),
+    "ExecutionResult": ("repro.sync", "ExecutionResult"),
+    "CrashSchedule": ("repro.sync", "CrashSchedule"),
+    "ConditionBasedKSetAgreement": (
+        "repro.algorithms",
+        "ConditionBasedKSetAgreement",
+    ),
+    "FloodMinKSetAgreement": ("repro.algorithms", "FloodMinKSetAgreement"),
+    "FloodSetConsensus": ("repro.algorithms", "FloodSetConsensus"),
+    "EarlyDecidingKSetAgreement": (
+        "repro.algorithms",
+        "EarlyDecidingKSetAgreement",
+    ),
+    "ConditionBasedConsensus": ("repro.algorithms", "ConditionBasedConsensus"),
+    # The unified API (PR 1): one façade over every algorithm and backend.
+    "AgreementSpec": ("repro.api", "AgreementSpec"),
+    "Engine": ("repro.api", "Engine"),
+    "RunConfig": ("repro.api", "RunConfig"),
+    "RunResult": ("repro.api", "RunResult"),
+    "available_algorithms": ("repro.api", "available_algorithms"),
+    "available_schedules": ("repro.api", "available_schedules"),
+}
 
-    The heavy subpackages (sync, asynchronous, algorithms, analysis) are
-    imported on first use so that ``import repro`` stays cheap for users who
-    only need the conditions framework.
-    """
-    lazy = {
-        "SynchronousSystem": ("repro.sync", "SynchronousSystem"),
-        "ExecutionResult": ("repro.sync", "ExecutionResult"),
-        "CrashSchedule": ("repro.sync", "CrashSchedule"),
-        "ConditionBasedKSetAgreement": (
-            "repro.algorithms",
-            "ConditionBasedKSetAgreement",
-        ),
-        "FloodMinKSetAgreement": ("repro.algorithms", "FloodMinKSetAgreement"),
-        "FloodSetConsensus": ("repro.algorithms", "FloodSetConsensus"),
-        "EarlyDecidingKSetAgreement": (
-            "repro.algorithms",
-            "EarlyDecidingKSetAgreement",
-        ),
-        "ConditionBasedConsensus": ("repro.algorithms", "ConditionBasedConsensus"),
-    }
-    if name in lazy:
+
+def __getattr__(name):
+    """Lazily expose the simulator, algorithm and unified-API entry points."""
+    if name in _LAZY_EXPORTS:
         import importlib
 
-        module_name, attribute = lazy[name]
+        module_name, attribute = _LAZY_EXPORTS[name]
         module = importlib.import_module(module_name)
         value = getattr(module, attribute)
         globals()[name] = value
         return value
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    """Make the lazy exports visible to ``dir(repro)`` and tab completion."""
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

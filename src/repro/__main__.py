@@ -1,0 +1,17 @@
+"""``python -m repro`` — alias of the ``repro`` console script.
+
+Dispatches straight to :func:`repro.cli.main`, so every CLI command works
+without installation::
+
+    PYTHONPATH=src python -m repro list
+    PYTHONPATH=src python -m repro demo --n 8 --t 4 --d 2 --k 2
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

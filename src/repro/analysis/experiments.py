@@ -8,6 +8,13 @@ text recorded in ``EXPERIMENTS.md`` and printed by the benchmarks.
 The experiments are deliberately sized to run in seconds on a laptop (they are
 executed inside the benchmark suite); the underlying library functions accept
 larger parameters for users who want to push further.
+
+Every execution goes through the unified :class:`repro.api.Engine`: one
+:class:`~repro.api.spec.AgreementSpec` per parameter case, algorithms resolved
+by registry key (``"condition-kset"``, ``"floodmin"``, ...), and both the
+synchronous and the asynchronous backends dispatched through the same
+``engine.run`` call path.  Repeated condition queries within an experiment are
+answered from the engine's memoized oracle.
 """
 
 from __future__ import annotations
@@ -16,12 +23,8 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Callable, Mapping, Sequence
 
-from ..algorithms.classic_kset import FloodMinKSetAgreement
-from ..algorithms.condition_consensus import ConditionBasedConsensus
-from ..algorithms.condition_kset import ConditionBasedKSetAgreement
-from ..algorithms.early_deciding_kset import EarlyDecidingKSetAgreement
-from ..algorithms.async_condition_set_agreement import run_async_condition_set_agreement
-from ..core.conditions import MaxLegalCondition
+from ..api.engine import Engine
+from ..api.spec import AgreementSpec, RunConfig
 from ..core.counting import (
     brute_force_condition_size,
     condition_fraction,
@@ -45,8 +48,12 @@ from ..core.lattice import ConditionLattice
 from ..core.legality import check_legality, is_legal
 from ..core.recognizing import MaxValues
 from ..core.vectors import InputVector
-from ..sync.adversary import crashes_in_round_one, no_crashes, staggered_schedule
-from ..sync.runtime import SynchronousSystem
+from ..sync.adversary import (
+    crashes_in_round_one,
+    initial_crashes,
+    no_crashes,
+    staggered_schedule,
+)
 from ..workloads.vectors import (
     vector_in_max_condition,
     vector_outside_max_condition,
@@ -301,22 +308,21 @@ def experiment_rounds_in_condition(random_runs: int = 10, seed: int = 7) -> Expe
     rng = Random(seed)
     for n, m, t, d, ell, k in _condition_sweep_cases():
         x = t - d
-        condition = MaxLegalCondition(n, m, x, ell)
-        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+        engine = Engine(spec, "condition-kset")
         vector = vector_in_max_condition(n, m, x, ell, rng)
         bound = min(rounds_in_condition(d, ell, k), rounds_outside_condition(t, k))
         schedules = adversarial_schedules(
-            n, t, k, algorithm.last_round(), rng=rng, random_runs=random_runs
+            n, t, k, spec.outside_condition_bound(), rng=rng, random_runs=random_runs
         )
-        measurement = measure_worst_rounds(algorithm, n, t, vector, schedules, k)
+        measurement = measure_worst_rounds(engine, n, t, vector, schedules, k)
         all_within &= measurement.worst_round <= bound
 
         # Fast path: at most t − d crashes during round 1 → two rounds.
-        system = SynchronousSystem(n, t, algorithm)
         fast_schedule = (
             crashes_in_round_one(n, x, delivered_prefix=n // 2) if x > 0 else no_crashes()
         )
-        fast_result = system.run(vector, fast_schedule)
+        fast_result = engine.run(vector, fast_schedule)
         assert_execution_correct(fast_result, vector, k)
         fast_path_ok &= fast_result.max_decision_round_of_correct() <= 2
 
@@ -350,23 +356,23 @@ def experiment_rounds_outside_condition(random_runs: int = 10, seed: int = 11) -
         x = t - d
         if ell > x:
             continue  # no outside vector exists (the condition is C_all)
-        condition = MaxLegalCondition(n, m, x, ell)
-        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
+        spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+        engine = Engine(spec, "condition-kset")
         try:
             vector = vector_outside_max_condition(n, m, x, ell, rng)
         except Exception:
             continue
         bound = rounds_outside_condition(t, k)
         schedules = adversarial_schedules(
-            n, t, k, algorithm.last_round(), rng=rng, random_runs=random_runs
+            n, t, k, spec.outside_condition_bound(), rng=rng, random_runs=random_runs
         )
-        measurement = measure_worst_rounds(algorithm, n, t, vector, schedules, k)
+        measurement = measure_worst_rounds(engine, n, t, vector, schedules, k)
         all_within &= measurement.worst_round <= bound
 
         # When more than t − d processes crash initially, the tmf branch bounds
         # the decision by ⌊(d+l−1)/k⌋ + 1 even outside the condition.
         early_bound = min(rounds_in_condition(d, ell, k), bound)
-        tmf_result = SynchronousSystem(n, t, algorithm).run(
+        tmf_result = engine.run(
             vector, crashes_in_round_one(n, min(t, x + 1), delivered_prefix=0)
         )
         assert_execution_correct(tmf_result, vector, k)
@@ -409,14 +415,14 @@ def experiment_baseline_comparison(seed: int = 13) -> ExperimentOutput:
         x = t - d
         if ell > x:
             continue
-        condition = MaxLegalCondition(n, m, x, ell)
-        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
-        baseline = FloodMinKSetAgreement(t=t, k=k)
+        spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+        condition_engine = Engine(spec, "condition-kset")
+        baseline_engine = Engine(spec, "floodmin")
         vector = vector_in_max_condition(n, m, x, ell, rng)
         schedule = staggered_schedule(n, t, per_round=k)
 
-        cond_result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
-        base_result = SynchronousSystem(n, t, baseline).run(vector, schedule)
+        cond_result = condition_engine.run(vector, schedule)
+        base_result = baseline_engine.run(vector, schedule)
         all_correct &= bool(check_execution(cond_result, vector, k))
         all_correct &= bool(check_execution(base_result, vector, k))
 
@@ -431,7 +437,7 @@ def experiment_baseline_comparison(seed: int = 13) -> ExperimentOutput:
                     rounds_in_condition(d, ell, k), rounds_outside_condition(t, k)
                 ),
                 "condition measured": cond_rounds,
-                "FloodMin bound": baseline.decision_round(),
+                "FloodMin bound": spec.outside_condition_bound(),
                 "FloodMin measured": base_rounds,
                 "speed-up": base_rounds / cond_rounds,
                 "condition fraction": condition_fraction(n, m, x, ell),
@@ -467,11 +473,13 @@ def experiment_special_cases(seed: int = 17) -> ExperimentOutput:
     # k = l = 1: condition-based consensus, bounds d + 1 / t + 1.
     for d in (1, 2, 3, 4):
         x = t - d
-        condition = MaxLegalCondition(n, m, x, 1)
-        consensus = ConditionBasedConsensus(condition=condition, t=t, d=d)
+        spec = AgreementSpec(n=n, t=t, k=1, d=d, ell=1, domain=m)
+        consensus_engine = Engine(spec, "condition-consensus")
         vector_in = vector_in_max_condition(n, m, x, 1, rng)
-        schedules = adversarial_schedules(n, t, 1, consensus.fallback_round(), rng=rng, random_runs=8)
-        measurement = measure_worst_rounds(consensus, n, t, vector_in, schedules, 1)
+        schedules = adversarial_schedules(
+            n, t, 1, spec.outside_condition_bound(), rng=rng, random_runs=8
+        )
+        measurement = measure_worst_rounds(consensus_engine, n, t, vector_in, schedules, 1)
         bound_in = max(2, d + 1)
         checks_ok &= measurement.worst_round <= bound_in
         row = {
@@ -484,7 +492,7 @@ def experiment_special_cases(seed: int = 17) -> ExperimentOutput:
         output.rows.append(row)
 
         vector_out = vector_outside_max_condition(n, m, x, 1, rng)
-        measurement_out = measure_worst_rounds(consensus, n, t, vector_out, schedules, 1)
+        measurement_out = measure_worst_rounds(consensus_engine, n, t, vector_out, schedules, 1)
         checks_ok &= measurement_out.worst_round <= t + 1
         output.rows.append(
             {
@@ -497,15 +505,15 @@ def experiment_special_cases(seed: int = 17) -> ExperimentOutput:
         )
 
     # d = t, l = 1: the degenerate instantiation behaves like the classical
-    # ⌊t/k⌋ + 1 algorithm (the condition contains every vector).
+    # ⌊t/k⌋ + 1 algorithm (the condition contains every vector); the registry
+    # builder relaxes the Section 6.1 requirement automatically when l > t − d.
     k = 2
-    condition = MaxLegalCondition(n, m, 0, 1)
-    classical_like = ConditionBasedKSetAgreement(
-        condition=condition, t=t, d=t, k=k, enforce_requirements=False
-    )
-    baseline = FloodMinKSetAgreement(t=t, k=k)
+    degenerate_spec = AgreementSpec(n=n, t=t, k=k, d=t, ell=1, domain=m)
+    classical_like = Engine(degenerate_spec, "condition-kset")
     vector = vector_in_max_condition(n, m, 0, 1, rng)
-    schedules = adversarial_schedules(n, t, k, baseline.decision_round(), rng=rng, random_runs=8)
+    schedules = adversarial_schedules(
+        n, t, k, degenerate_spec.outside_condition_bound(), rng=rng, random_runs=8
+    )
     measurement = measure_worst_rounds(classical_like, n, t, vector, schedules, k)
     classical_bound = rounds_outside_condition(t, k)
     checks_ok &= measurement.worst_round <= classical_bound
@@ -532,7 +540,8 @@ def experiment_early_deciding(seed: int = 19) -> ExperimentOutput:
     )
     n, m, t, k = 10, 8, 6, 2
     rng = Random(seed)
-    algorithm = EarlyDecidingKSetAgreement(t=t, k=k)
+    engine = Engine(AgreementSpec(n=n, t=t, k=k, domain=m), "early-deciding")
+    algorithm = engine.algorithm
     all_within = True
     all_correct = True
     for f in range(0, t + 1):
@@ -540,7 +549,7 @@ def experiment_early_deciding(seed: int = 19) -> ExperimentOutput:
         schedule = (
             crashes_in_round_one(n, f, delivered_prefix=n // 2) if f > 0 else no_crashes()
         )
-        result = SynchronousSystem(n, t, algorithm).run(vector, schedule)
+        result = engine.run(vector, schedule)
         all_correct &= bool(check_execution(result, vector, k))
         bound = algorithm.early_bound(f)
         measured = result.max_decision_round_of_correct()
@@ -571,9 +580,8 @@ def experiment_agreement_stress(runs: int = 150, seed: int = 23) -> ExperimentOu
     all_ok = True
     for n, m, t, d, ell, k in cases:
         x = t - d
-        condition = MaxLegalCondition(n, m, x, ell)
-        algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
-        system = SynchronousSystem(n, t, algorithm)
+        spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+        engine = Engine(spec, "condition-kset")
         worst = 0
         for _ in range(runs):
             inside = rng.random() < 0.5
@@ -585,11 +593,11 @@ def experiment_agreement_stress(runs: int = 150, seed: int = 23) -> ExperimentOu
                 except Exception:
                     vector = vector_in_max_condition(n, m, x, ell, rng)
             schedules = adversarial_schedules(
-                n, t, k, algorithm.last_round(), rng=rng, random_runs=1,
+                n, t, k, spec.outside_condition_bound(), rng=rng, random_runs=1,
                 include_round_one_batches=False,
             )
             schedule = schedules[rng.randrange(len(schedules))]
-            result = system.run(vector, schedule)
+            result = engine.run(vector, schedule)
             report = check_execution(result, vector, k)
             all_ok &= bool(report)
             worst = max(worst, result.distinct_decision_count())
@@ -620,12 +628,13 @@ def experiment_async_solvability(seed: int = 29) -> ExperimentOutput:
     cases = [(6, 8, 2, 1), (7, 8, 3, 2), (8, 10, 3, 1)]
     in_condition_ok = True
     for n, m, x, ell in cases:
-        condition = MaxLegalCondition(n, m, x, ell)
+        # The async backend reads the resilience x = t − d off the spec.
+        spec = AgreementSpec(n=n, t=x, k=ell, d=0, ell=ell, domain=m)
+        engine = Engine(spec, "async-condition", RunConfig(backend="async"))
         vector = vector_in_max_condition(n, m, x, ell, rng)
         crashed = tuple(rng.sample(range(n), x))
-        result = run_async_condition_set_agreement(
-            condition, x, vector, crashed=crashed, seed=rng.randint(0, 10**6)
-        )
+        schedule = initial_crashes(x, crashed)
+        result = engine.run(vector, schedule, seed=rng.randint(0, 10**6))
         report = check_execution(result, vector, ell)
         in_condition_ok &= bool(report) and result.terminated
         output.rows.append(
@@ -637,7 +646,7 @@ def experiment_async_solvability(seed: int = 29) -> ExperimentOutput:
                 "crashes": len(crashed),
                 "terminated": result.terminated,
                 "distinct decisions": result.distinct_decision_count(),
-                "total steps": result.total_steps,
+                "total steps": result.duration,
             }
         )
         # Outside the condition the algorithm may (and typically does) block.
@@ -645,9 +654,8 @@ def experiment_async_solvability(seed: int = 29) -> ExperimentOutput:
             outside = vector_outside_max_condition(n, m, x, ell, rng)
         except Exception:
             continue
-        blocked = run_async_condition_set_agreement(
-            condition, x, outside, crashed=crashed, seed=rng.randint(0, 10**6),
-            max_steps_per_process=50,
+        blocked = engine.run(
+            outside, schedule, seed=rng.randint(0, 10**6), max_steps=50
         )
         output.rows.append(
             {
@@ -658,7 +666,7 @@ def experiment_async_solvability(seed: int = 29) -> ExperimentOutput:
                 "crashes": len(crashed),
                 "terminated": blocked.terminated,
                 "distinct decisions": blocked.distinct_decision_count(),
-                "total steps": blocked.total_steps,
+                "total steps": blocked.duration,
             }
         )
     output.checks.append(

@@ -12,6 +12,13 @@ Each checker exists in two flavours: a ``check_*`` function returning a
 :class:`PropertyReport` (used by experiments to *measure*), and an
 ``assert_*`` function raising :class:`AgreementViolationError` (used by tests
 to *enforce*).
+
+The checkers duck-type their input, so the normalized
+:class:`~repro.api.result.RunResult` records produced by the unified engine
+are accepted alongside the backend-native results: anything exposing
+``decisions``, ``decided_values`` and ``correct_processes`` (plus
+``terminated`` for step-bounded runs and ``max_decision_round_of_correct``
+for round-bounded ones) can be checked.
 """
 
 from __future__ import annotations
@@ -71,7 +78,11 @@ def check_termination(result: AnyResult) -> PropertyReport:
     for process_id in sorted(_correct_processes(result)):
         if process_id not in result.decisions:
             report.record(f"correct process {process_id} never decided")
-    if isinstance(result, AsyncExecutionResult) and not result.terminated:
+    # Step-bounded runs (async results, native or normalized) also report a
+    # budget exhaustion; round-based results either lack the attribute or
+    # already failed through the per-process loop above.
+    terminated = getattr(result, "terminated", True)
+    if terminated is False and getattr(result, "time_unit", "steps") == "steps":
         report.record("the asynchronous run exhausted its step budget before termination")
     return report
 
@@ -114,6 +125,14 @@ def check_round_bound(result: ExecutionResult, bound: int) -> PropertyReport:
     return report
 
 
+def _supports_round_bound(result: AnyResult) -> bool:
+    """Round bounds apply to synchronous results, native or normalized."""
+    return (
+        hasattr(result, "max_decision_round_of_correct")
+        and getattr(result, "time_unit", "rounds") == "rounds"
+    )
+
+
 def check_execution(
     result: AnyResult,
     proposals: InputVector | Iterable[Any],
@@ -124,7 +143,7 @@ def check_execution(
     report = check_termination(result)
     report = report.merge(check_validity(result, proposals))
     report = report.merge(check_agreement(result, k))
-    if round_bound is not None and isinstance(result, ExecutionResult):
+    if round_bound is not None and _supports_round_bound(result):
         report = report.merge(check_round_bound(result, round_bound))
     return report
 

@@ -1,0 +1,54 @@
+"""``repro.api`` — the unified entry point of the reproduction.
+
+Everything the layers underneath expose — the conditions framework, the
+synchronous round simulator, the asynchronous shared-memory model, the
+algorithms of the paper and their baselines — is reachable through four
+objects:
+
+* :class:`AgreementSpec` — a frozen description of the agreement instance
+  (``n``, ``t``, ``k``, the condition degree ``d``, the recognizing degree
+  ``l`` and the value domain ``m``);
+* :class:`RunConfig` — a frozen description of *how* to execute (backend,
+  default adversary schedule, seeds, step budgets, batch chunking);
+* :class:`Engine` — the façade: :meth:`~Engine.run` one vector,
+  :meth:`~Engine.run_batch` many vectors with memoized condition work, or
+  :meth:`~Engine.sweep` a parameter grid;
+* :class:`RunResult` — the normalized record produced by every backend.
+
+Algorithms and adversary schedules are looked up in string-keyed registries
+(:data:`ALGORITHMS`, :data:`SCHEDULES`); registering a new one is a decorator
+away (:func:`register_algorithm`, :func:`register_schedule`) and instantly
+visible to the CLI, the experiments and the examples.
+"""
+
+from .engine import CacheStats, Engine, MemoizedCondition, SweepCell
+from .registry import (
+    ALGORITHMS,
+    SCHEDULES,
+    AlgorithmEntry,
+    Registry,
+    available_algorithms,
+    available_schedules,
+    register_algorithm,
+    register_schedule,
+)
+from .result import RunResult
+from .spec import AgreementSpec, RunConfig
+
+__all__ = [
+    "ALGORITHMS",
+    "AgreementSpec",
+    "AlgorithmEntry",
+    "CacheStats",
+    "Engine",
+    "MemoizedCondition",
+    "Registry",
+    "RunConfig",
+    "RunResult",
+    "SCHEDULES",
+    "SweepCell",
+    "available_algorithms",
+    "available_schedules",
+    "register_algorithm",
+    "register_schedule",
+]

@@ -1,0 +1,631 @@
+"""The :class:`Engine` façade: one call path for every algorithm and backend.
+
+The engine binds an :class:`~repro.api.spec.AgreementSpec` to an algorithm
+(usually by registry key) and executes input vectors through a single
+dispatch path, whatever the backend::
+
+    >>> from repro.api import AgreementSpec, Engine
+    >>> spec = AgreementSpec(n=8, t=4, k=2, d=2, ell=1, domain=10)
+    >>> engine = Engine(spec, "condition-kset")
+    >>> result = engine.run([7, 7, 7, 3, 2, 7, 1, 7])
+    >>> result.decided_values()
+    frozenset({7})
+
+Three levels of execution are offered:
+
+* :meth:`Engine.run` — one vector, one schedule, one :class:`RunResult`;
+* :meth:`Engine.run_batch` — many vectors in chunks, sharing memoized
+  condition work (membership, the predicate ``P``, decoding) and validating
+  each distinct crash schedule once;
+* :meth:`Engine.sweep` — a parameter grid over spec fields, one batch per
+  cell, aggregated into :class:`SweepCell` records.
+
+Memoization
+-----------
+Condition queries dominate the cost of condition-based runs: in a
+failure-free synchronous round every one of the ``n`` processes decodes the
+same full view, and across a batch the same vectors and views recur.  The
+engine therefore wraps the spec's condition in :class:`MemoizedCondition`,
+which caches ``contains`` / ``is_compatible`` / ``decode`` by view entries for
+the lifetime of the engine.  :meth:`Engine.cache_stats` exposes the hit
+counts; ``benchmarks/test_bench_engine_batch.py`` measures the resulting
+batch speed-up over the naive per-vector loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import weakref
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..algorithms.async_condition_set_agreement import run_async_condition_set_agreement
+from ..core.conditions import ConditionOracle
+from ..core.vectors import InputVector, View
+from ..exceptions import BackendError, InvalidParameterError, ReproError
+from ..sync.adversary import CrashSchedule
+from ..sync.process import SynchronousAlgorithm
+from ..sync.runtime import SynchronousSystem
+from .registry import ALGORITHMS, SCHEDULES, AlgorithmEntry
+from .result import RunResult
+from .spec import AgreementSpec, RunConfig
+
+__all__ = ["Engine", "MemoizedCondition", "CacheStats", "SweepCell"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one memoized query."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        """Total number of queries."""
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache (0.0 when unused)."""
+        return self.hits / self.calls if self.calls else 0.0
+
+
+class MemoizedCondition(ConditionOracle):
+    """A caching proxy around a :class:`ConditionOracle`.
+
+    Views are immutable and hash by their entries, so every oracle query is a
+    pure function of the view: the proxy answers repeats from dictionaries.
+    One instance is shared by every run of an engine, which is what makes
+    batches cheaper than isolated runs — the decode of a view computed in run
+    17 is free in run 18.
+    """
+
+    def __init__(self, inner: ConditionOracle) -> None:
+        self._inner = inner
+        self._contains_cache: dict[tuple, bool] = {}
+        self._compatible_cache: dict[tuple, bool] = {}
+        self._decode_cache: dict[tuple, frozenset[Any]] = {}
+        self.stats = {
+            "contains": CacheStats(),
+            "is_compatible": CacheStats(),
+            "decode": CacheStats(),
+        }
+
+    @property
+    def inner(self) -> ConditionOracle:
+        """The wrapped oracle."""
+        return self._inner
+
+    @property
+    def ell(self) -> int:
+        return self._inner.ell
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    def contains(self, vector: InputVector) -> bool:
+        key = vector.entries
+        cache = self._contains_cache
+        if key in cache:
+            self.stats["contains"].hits += 1
+            return cache[key]
+        self.stats["contains"].misses += 1
+        answer = cache[key] = self._inner.contains(vector)
+        return answer
+
+    def is_compatible(self, view: View) -> bool:
+        key = view.entries
+        cache = self._compatible_cache
+        if key in cache:
+            self.stats["is_compatible"].hits += 1
+            return cache[key]
+        self.stats["is_compatible"].misses += 1
+        answer = cache[key] = self._inner.is_compatible(view)
+        return answer
+
+    def decode(self, view: View) -> frozenset[Any]:
+        key = view.entries
+        cache = self._decode_cache
+        if key in cache:
+            self.stats["decode"].hits += 1
+            return cache[key]
+        self.stats["decode"].misses += 1
+        answer = cache[key] = self._inner.decode(view)
+        return answer
+
+    def clear(self) -> None:
+        """Drop every cached answer (the statistics are kept)."""
+        self._contains_cache.clear()
+        self._compatible_cache.clear()
+        self._decode_cache.clear()
+
+
+@dataclass
+class SweepCell:
+    """One cell of a parameter sweep: a derived spec and its batch results."""
+
+    spec: AgreementSpec
+    results: list[RunResult] = field(default_factory=list)
+    #: Why the cell could not run (invalid parameter combination), or ``None``.
+    error: str | None = None
+    #: The grid overrides that defined this cell.  Authoritative for errored
+    #: cells: when the overrides cannot even form a valid spec, :attr:`spec`
+    #: falls back to the base spec and only this field names the combination.
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def runs(self) -> int:
+        """Number of executions in the cell."""
+        return len(self.results)
+
+    def worst_duration(self) -> int:
+        """The largest duration (rounds or steps) over the cell's runs."""
+        return max((r.duration for r in self.results), default=0)
+
+    def max_distinct_decisions(self) -> int:
+        """The largest number of distinct decided values over the cell's runs."""
+        return max((r.distinct_decision_count() for r in self.results), default=0)
+
+    def in_condition_count(self) -> int:
+        """How many of the cell's input vectors belonged to the condition."""
+        return sum(1 for r in self.results if r.in_condition)
+
+    def all_terminated(self) -> bool:
+        """Did every run of the cell terminate?"""
+        return all(r.terminated for r in self.results)
+
+
+class Engine:
+    """One façade over every algorithm, backend and adversary.
+
+    Parameters
+    ----------
+    spec:
+        The agreement instance to solve.
+    algorithm:
+        A registry key (``"condition-kset"``, ``"floodmin"``, ...) or a
+        pre-built :class:`~repro.sync.process.SynchronousAlgorithm` instance
+        (the escape hatch used by the measurement helpers to wrap legacy
+        constructions).
+    config:
+        Execution defaults; ``None`` means ``RunConfig()``.
+    """
+
+    def __init__(
+        self,
+        spec: AgreementSpec,
+        algorithm: str | SynchronousAlgorithm = "condition-kset",
+        config: RunConfig | None = None,
+    ) -> None:
+        self._spec = spec
+        self._config = config or RunConfig()
+        self._system: SynchronousSystem | None = None
+        # id -> schedule, weak-valued: an entry lives exactly as long as its
+        # schedule object, so a recycled address can never satisfy the lookup
+        # (the old entry is purged when its object dies) and the cache cannot
+        # outgrow the caller's live schedules.
+        self._validated_schedules: "weakref.WeakValueDictionary[int, CrashSchedule]" = (
+            weakref.WeakValueDictionary()
+        )
+
+        if isinstance(algorithm, str):
+            self._entry: AlgorithmEntry | None = ALGORITHMS.get(algorithm)
+            self._algorithm_name = algorithm
+            self._condition: MemoizedCondition | None = (
+                MemoizedCondition(spec.condition()) if self._entry.uses_condition else None
+            )
+            self._sync_algorithm = (
+                self._entry.build(spec, self._condition)
+                if self._entry.supports("sync")
+                else None
+            )
+            self._degree = self._entry.agreement_degree(spec)
+        else:
+            # Escape hatch: wrap an already-built synchronous algorithm.  The
+            # engine still memoizes membership when the instance carries a
+            # condition, but the instance keeps its own oracle for decoding.
+            self._entry = None
+            self._algorithm_name = algorithm.name
+            inner = getattr(algorithm, "condition", None)
+            self._condition = MemoizedCondition(inner) if inner is not None else None
+            self._sync_algorithm = algorithm
+            self._degree = algorithm.agreement_degree() or spec.k
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def spec(self) -> AgreementSpec:
+        """The agreement instance the engine is bound to."""
+        return self._spec
+
+    @property
+    def config(self) -> RunConfig:
+        """The execution defaults."""
+        return self._config
+
+    @property
+    def algorithm_name(self) -> str:
+        """Registry key (or display name) of the bound algorithm."""
+        return self._algorithm_name
+
+    @property
+    def condition(self) -> ConditionOracle | None:
+        """The (memoized) condition oracle, or ``None`` for unconditioned baselines."""
+        return self._condition
+
+    @property
+    def algorithm(self) -> SynchronousAlgorithm | None:
+        """The synchronous algorithm instance (``None`` for async-only entries).
+
+        Exposed for bound formulas (``last_round``, ``early_bound``, ...); the
+        execution itself always goes through :meth:`run`.
+        """
+        return self._sync_algorithm
+
+    def agreement_degree(self, backend: str | None = None) -> int:
+        """How many distinct values the runs may decide on *backend*."""
+        backend = backend or self._config.backend
+        if backend == "async":
+            # The Section 4 algorithm solves l-set agreement.
+            return self._spec.ell
+        return self._degree
+
+    def backends(self) -> tuple[str, ...]:
+        """The backends the bound algorithm supports."""
+        if self._entry is not None:
+            return tuple(sorted(self._entry.backends))
+        return ("sync", "async") if self._condition is not None else ("sync",)
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss counters of the memoized condition queries."""
+        if self._condition is None:
+            return {}
+        return dict(self._condition.stats)
+
+    # -- single run ----------------------------------------------------------
+    def run(
+        self,
+        vector: InputVector | Sequence[Any] | Mapping[int, Any],
+        schedule: CrashSchedule | str | None = None,
+        *,
+        seed: int | None = None,
+        backend: str | None = None,
+        max_steps: int | None = None,
+    ) -> RunResult:
+        """Execute one vector and return the normalized :class:`RunResult`.
+
+        *schedule* may be an explicit :class:`CrashSchedule`, a schedule
+        registry name, or ``None`` (the config's default schedule name).
+        *seed* feeds the named schedule factory and, on the asynchronous
+        backend, the interleaving.  *max_steps* overrides the per-process
+        step budget and is async-only (the synchronous backend is bounded by
+        the algorithm's own round bound); passing it with ``backend="sync"``
+        raises.
+
+        On the asynchronous backend the schedule's faulty processes are never
+        scheduled.  Crashing more than ``spec.x`` of them is allowed — the
+        adversary may do it — but voids the Section 4 termination guarantee
+        even for in-condition inputs: such runs typically exhaust their step
+        budget and come back with ``terminated=False``.
+        """
+        input_vector = self._normalise_vector(vector)
+        backend = backend or self._config.backend
+        seed = self._config.seed if seed is None else seed
+        crash_schedule = self._resolve_schedule(schedule, seed)
+        return self._execute(input_vector, crash_schedule, seed, backend, max_steps)
+
+    # -- batched runs --------------------------------------------------------
+    def run_batch(
+        self,
+        vectors: Iterable[InputVector | Sequence[Any]],
+        schedules: CrashSchedule | str | Iterable[CrashSchedule | str | None] | None = None,
+        *,
+        backend: str | None = None,
+        chunk_size: int | None = None,
+    ) -> list[RunResult]:
+        """Execute many vectors through one chunked, memoized pipeline.
+
+        *schedules* may be ``None`` (config default for every run), a single
+        schedule or name (applied to every run), or an iterable paired
+        elementwise with *vectors* — including an infinite stream such as
+        ``itertools.repeat(...)``.  When both sides are sized sequences their
+        lengths must match (checked up front, nothing consumed); an unsized
+        schedule stream merely has to cover every vector, surplus elements
+        are left unconsumed where possible.  Run *i* derives its seed as
+        ``config.seed + i``, so the whole batch is deterministic.
+
+        Both *vectors* and elementwise *schedules* may be lazy iterables
+        (e.g. generators): the batch consumes them ``chunk_size`` items at a
+        time, so only one chunk of inputs is ever materialized — streaming a
+        million-vector workload does not require holding it in memory.  Each
+        chunk is *staged* before it is executed: its vectors are normalised
+        and its schedules resolved and validated up front, so a malformed
+        input aborts the chunk before any of its runs burn compute.
+
+        Work shared across the batch: condition membership, the predicate
+        ``P`` and view decoding (memoized for the engine's lifetime), and the
+        validation of each distinct crash schedule (done once, not per run).
+        """
+        backend = backend or self._config.backend
+        chunk = chunk_size or self._config.chunk_size
+
+        exhausted = object()
+        if schedules is None or isinstance(schedules, (str, CrashSchedule)):
+            pairing = itertools.repeat(schedules)
+        else:
+            try:
+                paired_count = len(schedules)  # type: ignore[arg-type]
+                vector_count = len(vectors)  # type: ignore[arg-type]
+            except TypeError:
+                pass  # one side is a lazy stream: pair at runtime
+            else:
+                if paired_count != vector_count:
+                    raise InvalidParameterError(
+                        f"run_batch got {vector_count} vectors but "
+                        f"{paired_count} schedules"
+                    )
+            pairing = iter(schedules)
+
+        vector_stream = iter(vectors)
+        results: list[RunResult] = []
+        index = 0
+        while True:
+            chunk_vectors = list(itertools.islice(vector_stream, chunk))
+            if not chunk_vectors:
+                break
+            staged: list[tuple[InputVector, CrashSchedule, int]] = []
+            for vector in chunk_vectors:
+                schedule = next(pairing, exhausted)
+                if schedule is exhausted:
+                    raise InvalidParameterError(
+                        f"run_batch ran out of schedules after {index} runs "
+                        "with vectors remaining"
+                    )
+                seed = self._config.seed + index
+                crash_schedule = self._resolve_schedule(schedule, seed)
+                self._validate_once(crash_schedule)
+                staged.append((self._normalise_vector(vector), crash_schedule, seed))
+                index += 1
+            for normalised, crash_schedule, seed in staged:
+                results.append(self._execute(normalised, crash_schedule, seed, backend, None))
+        return results
+
+    # -- parameter sweeps ----------------------------------------------------
+    def sweep(
+        self,
+        grid: Mapping[str, Sequence[Any]],
+        runs_per_cell: int = 4,
+        *,
+        vectors: str = "in",
+        schedule: CrashSchedule | str | None = None,
+        backend: str | None = None,
+    ) -> list[SweepCell]:
+        """Run a batch for every combination of the *grid* spec overrides.
+
+        *grid* maps :class:`AgreementSpec` field names to candidate values,
+        e.g. ``{"d": (1, 2, 3), "k": (2, 3)}``.  Each cell derives a spec, a
+        sibling engine (same algorithm and config) and *runs_per_cell* input
+        vectors: inside the condition (``vectors="in"``), outside
+        (``"out"``), or uniform (``"random"``).  Invalid combinations —
+        e.g. ``d > t`` or an unsatisfiable outside-vector request — yield a
+        cell with :attr:`SweepCell.error` set instead of raising, so a grid
+        may safely cross parameter ranges.
+        """
+        from ..workloads.vectors import (
+            random_vector,
+            vector_in_max_condition,
+            vector_outside_max_condition,
+        )
+
+        if self._entry is None:
+            raise InvalidParameterError(
+                "sweep needs an engine built from a registry key; this engine "
+                f"wraps the pre-built instance {self._algorithm_name!r}, which "
+                "cannot be rebuilt for derived specs"
+            )
+        if vectors not in ("in", "out", "random"):
+            raise InvalidParameterError(
+                f"vectors must be 'in', 'out' or 'random', got {vectors!r}"
+            )
+        # A typo'd grid key is a programming error, not a bad cell: fail the
+        # whole sweep up front rather than returning all-error cells.
+        spec_fields = {f.name for f in dataclasses.fields(AgreementSpec)}
+        unknown = sorted(set(grid) - spec_fields)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown grid field(s) {', '.join(map(repr, unknown))}; "
+                f"AgreementSpec fields are: {', '.join(sorted(spec_fields))}"
+            )
+        names = list(grid)
+        cells: list[SweepCell] = []
+        for index, combo in enumerate(itertools.product(*(grid[name] for name in names))):
+            overrides = dict(zip(names, combo))
+            try:
+                cell_spec = self._spec.replace(**overrides)
+                engine = Engine(cell_spec, self._algorithm_name, self._config)
+                rng = Random(self._config.seed + index)
+                batch: list[InputVector] = []
+                for _ in range(runs_per_cell):
+                    if vectors == "in":
+                        batch.append(
+                            vector_in_max_condition(
+                                cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                            )
+                        )
+                    elif vectors == "out":
+                        batch.append(
+                            vector_outside_max_condition(
+                                cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                            )
+                        )
+                    else:
+                        batch.append(random_vector(cell_spec.n, cell_spec.domain, rng))
+                results = engine.run_batch(batch, schedule, backend=backend)
+            except ReproError as error:  # bad parameter combos report; bugs raise
+                cells.append(
+                    SweepCell(
+                        spec=self._safe_cell_spec(overrides),
+                        error=f"{type(error).__name__}: {error}",
+                        overrides=overrides,
+                    )
+                )
+                continue
+            cells.append(SweepCell(spec=cell_spec, results=results, overrides=overrides))
+        return cells
+
+    def _safe_cell_spec(self, overrides: Mapping[str, Any]) -> AgreementSpec:
+        """Best-effort spec for an errored cell (falls back to the base spec).
+
+        The cell's ``overrides`` field stays authoritative for what was asked.
+        """
+        try:
+            return self._spec.replace(**overrides)
+        except ReproError:
+            return self._spec
+
+    # -- legacy bridge -------------------------------------------------------
+    @classmethod
+    def for_algorithm(
+        cls,
+        algorithm: SynchronousAlgorithm,
+        n: int,
+        t: int | None = None,
+        config: RunConfig | None = None,
+    ) -> "Engine":
+        """Wrap a pre-built synchronous algorithm instance.
+
+        The spec is reconstructed from what the instance exposes (``t``,
+        ``k``/``agreement_degree``, and ``d``/``ell``/``condition`` when
+        present); an explicit *t* overrides the introspection, which also
+        supports algorithms that expose no ``t`` attribute at all.  This is
+        the bridge the measurement helpers use so that legacy
+        ``SynchronousSystem`` call sites run through the engine.
+        """
+        if t is None:
+            t = getattr(algorithm, "t", 0)
+        k = algorithm.agreement_degree() or 1
+        d = min(getattr(algorithm, "d", t), t)
+        ell = getattr(algorithm, "ell", 1)
+        condition = getattr(algorithm, "condition", None)
+        domain = 2
+        if condition is not None and hasattr(condition, "domain"):
+            domain = condition.domain.size
+        spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=domain)
+        return cls(spec, algorithm, config)
+
+    # -- internals -----------------------------------------------------------
+    def _normalise_vector(
+        self, vector: InputVector | Sequence[Any] | Mapping[int, Any]
+    ) -> InputVector:
+        if isinstance(vector, InputVector):
+            candidate = vector
+        elif isinstance(vector, Mapping):
+            try:
+                candidate = InputVector(vector[pid] for pid in range(self._spec.n))
+            except KeyError as missing:
+                raise InvalidParameterError(
+                    f"no proposal for process {missing.args[0]}"
+                ) from None
+        else:
+            candidate = InputVector(vector)
+        if len(candidate) != self._spec.n:
+            raise InvalidParameterError(
+                f"expected {self._spec.n} proposals, got {len(candidate)}"
+            )
+        return candidate
+
+    def _resolve_schedule(
+        self, schedule: CrashSchedule | str | None, seed: int
+    ) -> CrashSchedule:
+        if isinstance(schedule, CrashSchedule):
+            return schedule
+        name = self._config.schedule if schedule is None else schedule
+        factory = SCHEDULES.get(name)
+        return factory(self._spec, self._config.crashes, seed)
+
+    def _validate_once(self, schedule: CrashSchedule) -> None:
+        key = id(schedule)
+        if self._validated_schedules.get(key) is not schedule:
+            schedule.validate(self._spec.n, self._spec.t)
+            self._validated_schedules[key] = schedule
+
+    def _membership(self, vector: InputVector) -> bool | None:
+        if self._condition is None:
+            return None
+        return self._condition.contains(vector)
+
+    def _sync_system(self) -> SynchronousSystem:
+        if self._system is None:
+            if self._sync_algorithm is None:
+                raise BackendError(
+                    f"algorithm {self._algorithm_name!r} has no synchronous factory"
+                )
+            self._system = SynchronousSystem(
+                n=self._spec.n,
+                t=self._spec.t,
+                algorithm=self._sync_algorithm,
+                record_trace=self._config.record_trace,
+            )
+        return self._system
+
+    def _execute(
+        self,
+        vector: InputVector,
+        schedule: CrashSchedule,
+        seed: int,
+        backend: str,
+        max_steps: int | None,
+    ) -> RunResult:
+        if backend not in ("sync", "async"):
+            raise BackendError(f"unknown backend {backend!r}; expected 'sync' or 'async'")
+        if backend not in self.backends():
+            raise BackendError(
+                f"algorithm {self._algorithm_name!r} does not run on the {backend!r} "
+                f"backend (supported: {', '.join(self.backends())})"
+            )
+        if max_steps is not None:
+            if backend == "sync":
+                raise InvalidParameterError(
+                    "max_steps only applies to the asynchronous backend; the "
+                    "synchronous backend is bounded by the algorithm's round bound"
+                )
+            if max_steps < 1:
+                raise InvalidParameterError(f"max_steps must be >= 1, got {max_steps}")
+        self._validate_once(schedule)
+        in_condition = self._membership(vector)
+
+        if backend == "sync":
+            result = self._sync_system().run(vector, schedule, validate_schedule=False)
+            return RunResult.from_sync(result, self._algorithm_name, in_condition)
+
+        # Asynchronous backend: the Section 4 snapshot algorithm over the same
+        # condition.  The schedule projects onto the only freedom of the model
+        # — which processes are never scheduled (the worst case for crashes).
+        # More than spec.x faulty processes is legal but guarantee-free: the
+        # run may block and report terminated=False (see run()'s docstring).
+        if self._condition is None:
+            raise BackendError(
+                f"algorithm {self._algorithm_name!r} carries no condition; "
+                "the asynchronous backend needs one"
+            )
+        crashed = tuple(sorted(event.process_id for event in schedule))
+        result = run_async_condition_set_agreement(
+            self._condition,
+            self._spec.x,
+            vector,
+            crashed=crashed,
+            seed=seed,
+            max_steps_per_process=(
+                max_steps if max_steps is not None else self._config.max_steps_per_process
+            ),
+        )
+        return RunResult.from_async(
+            result,
+            vector,
+            self._algorithm_name,
+            t=self._spec.t,
+            in_condition=in_condition,
+            schedule=schedule,
+        )

@@ -1,0 +1,217 @@
+"""The unified execution record returned by the engine.
+
+The synchronous runtime returns :class:`~repro.sync.runtime.ExecutionResult`
+(rounds, crash rounds, traces) and the asynchronous scheduler returns
+:class:`~repro.asynchronous.scheduler.AsyncExecutionResult` (step counts,
+step budgets).  :class:`RunResult` normalizes both into one record so that
+callers — the CLI, the experiment harness, the property checkers, future
+caching layers — handle every backend through a single shape:
+
+* ``decisions`` / ``decision_times`` — who decided what, and *when* in the
+  backend's native time unit (``"rounds"`` or ``"steps"``);
+* ``duration`` — total rounds executed or total steps granted;
+* ``crashed`` / ``terminated`` — the failure picture, identical semantics on
+  both backends ("every correct process decided");
+* ``in_condition`` — whether the input vector belongs to the condition the
+  algorithm was instantiated with (``None`` for unconditioned baselines);
+* ``raw`` — the backend-native result, kept for drill-down (traces, step
+  counts) so nothing the seed API exposed is lost.
+
+The record quacks enough like the backend-native results (``decisions``,
+``decided_values``, ``correct_processes``, ``terminated``,
+``max_decision_round_of_correct``) that the property checkers of
+:mod:`repro.analysis.properties` accept it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..asynchronous.scheduler import AsyncExecutionResult
+from ..core.vectors import InputVector
+from ..exceptions import InvalidParameterError
+from ..sync.adversary import CrashSchedule
+from ..sync.runtime import ExecutionResult
+from ..sync.trace import ExecutionTrace
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """One execution, normalized across backends."""
+
+    #: Registry key (or display name) of the algorithm that ran.
+    algorithm: str
+    #: ``"sync"`` or ``"async"``.
+    backend: str
+    n: int
+    t: int
+    input_vector: InputVector
+    #: Mapping process id -> decided value.
+    decisions: dict[int, Any] = field(default_factory=dict)
+    #: Mapping process id -> decision time, in :attr:`time_unit` units.
+    decision_times: dict[int, int] = field(default_factory=dict)
+    #: Processes that crashed (sync: during the run; async: never scheduled).
+    crashed: frozenset[int] = frozenset()
+    #: Rounds executed (sync) or total steps granted (async).
+    duration: int = 0
+    #: ``"rounds"`` (sync) or ``"steps"`` (async).
+    time_unit: str = "rounds"
+    #: Every correct process decided.
+    terminated: bool = True
+    #: Membership of the input vector in the algorithm's condition
+    #: (``None`` when the algorithm consults no condition).
+    in_condition: bool | None = None
+    #: The crash schedule that was applied (``None`` on the async backend when
+    #: crashes were injected directly).
+    schedule: CrashSchedule | None = None
+    #: Full synchronous trace when one was recorded.
+    trace: ExecutionTrace | None = None
+    #: The backend-native result object.
+    raw: ExecutionResult | AsyncExecutionResult | None = None
+
+    # -- derived facts -------------------------------------------------------
+    @property
+    def correct_processes(self) -> frozenset[int]:
+        """The processes that never crashed."""
+        return frozenset(range(self.n)) - self.crashed
+
+    @property
+    def failure_count(self) -> int:
+        """``f``: the number of processes that actually crashed."""
+        return len(self.crashed)
+
+    def decided_values(self) -> frozenset[Any]:
+        """The set of distinct decided values."""
+        return frozenset(self.decisions.values())
+
+    def distinct_decision_count(self) -> int:
+        """Number of distinct decided values (≤ k for k-set agreement)."""
+        return len(self.decided_values())
+
+    def all_correct_decided(self) -> bool:
+        """Termination: did every correct process decide?"""
+        return all(pid in self.decisions for pid in self.correct_processes)
+
+    def max_decision_time(self) -> int:
+        """The latest decision time (0 when nobody decided)."""
+        return max(self.decision_times.values(), default=0)
+
+    def max_decision_round_of_correct(self) -> int:
+        """Latest decision round among correct processes (synchronous runs only)."""
+        if self.time_unit != "rounds":
+            raise InvalidParameterError(
+                "decision rounds are only defined on the synchronous backend; "
+                f"this result is in {self.time_unit!r}"
+            )
+        times = [
+            self.decision_times[pid]
+            for pid in self.correct_processes
+            if pid in self.decision_times
+        ]
+        return max(times, default=0)
+
+    @property
+    def rounds_executed(self) -> int:
+        """Alias of :attr:`duration` for synchronous runs (seed-API parity)."""
+        if self.time_unit != "rounds":
+            raise InvalidParameterError(
+                f"rounds_executed is only defined on the synchronous backend; "
+                f"this result is in {self.time_unit!r}"
+            )
+        return self.duration
+
+    def summary(self) -> str:
+        """One-line description used by the CLI and experiment logs."""
+        membership = (
+            "-" if self.in_condition is None else ("yes" if self.in_condition else "no")
+        )
+        return (
+            f"{self.algorithm} [{self.backend}] n={self.n} t={self.t} "
+            f"f={self.failure_count} in_condition={membership} "
+            f"{self.time_unit}={self.duration} "
+            f"decided={self.distinct_decision_count()} value(s) "
+            f"terminated={self.terminated}"
+        )
+
+    # -- normalization -------------------------------------------------------
+    @classmethod
+    def from_sync(
+        cls,
+        result: ExecutionResult,
+        algorithm: str,
+        in_condition: bool | None = None,
+    ) -> "RunResult":
+        """Normalize a synchronous :class:`ExecutionResult`."""
+        return cls(
+            algorithm=algorithm,
+            backend="sync",
+            n=result.n,
+            t=result.t,
+            input_vector=result.input_vector,
+            decisions=dict(result.decisions),
+            decision_times=dict(result.decision_rounds),
+            crashed=result.faulty_processes,
+            duration=result.rounds_executed,
+            time_unit="rounds",
+            terminated=result.all_correct_decided(),
+            in_condition=in_condition,
+            schedule=result.schedule,
+            trace=result.trace,
+            raw=result,
+        )
+
+    @classmethod
+    def from_async(
+        cls,
+        result: AsyncExecutionResult,
+        input_vector: InputVector,
+        algorithm: str,
+        t: int,
+        in_condition: bool | None = None,
+        schedule: CrashSchedule | None = None,
+    ) -> "RunResult":
+        """Normalize an asynchronous :class:`AsyncExecutionResult`."""
+        return cls(
+            algorithm=algorithm,
+            backend="async",
+            n=result.n,
+            t=t,
+            input_vector=input_vector,
+            decisions=dict(result.decisions),
+            decision_times=dict(result.decision_steps),
+            crashed=result.crashed,
+            duration=result.total_steps,
+            time_unit="steps",
+            terminated=result.terminated,
+            in_condition=in_condition,
+            schedule=schedule,
+            trace=None,
+            raw=result,
+        )
+
+    @classmethod
+    def normalize(
+        cls,
+        result: "RunResult | ExecutionResult | AsyncExecutionResult",
+        input_vector: InputVector | None = None,
+        algorithm: str = "unknown",
+        t: int = 0,
+        in_condition: bool | None = None,
+    ) -> "RunResult":
+        """Coerce any backend result into a :class:`RunResult` (idempotent)."""
+        if isinstance(result, cls):
+            return result
+        if isinstance(result, ExecutionResult):
+            return cls.from_sync(result, algorithm, in_condition)
+        if isinstance(result, AsyncExecutionResult):
+            if input_vector is None:
+                raise InvalidParameterError(
+                    "normalizing an AsyncExecutionResult needs the input vector"
+                )
+            return cls.from_async(result, input_vector, algorithm, t, in_condition)
+        raise InvalidParameterError(
+            f"cannot normalize {type(result).__name__} into a RunResult"
+        )

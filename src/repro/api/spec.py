@@ -1,0 +1,185 @@
+"""Frozen configuration records of the unified API.
+
+Two immutable dataclasses describe everything the :class:`repro.api.Engine`
+needs to run an agreement instance:
+
+* :class:`AgreementSpec` — the *problem*: system size ``n``, crash budget
+  ``t``, coordination degree ``k`` and the condition parameters ``d`` (degree)
+  and ``ell`` (recognizing-function degree ``l``) over a ``domain`` of ``m``
+  ordered values.  The derived legality parameter is ``x = t − d``.
+* :class:`RunConfig` — the *execution*: which backend (synchronous rounds or
+  asynchronous shared memory), the default adversary schedule, seeds, step
+  budgets and batching knobs.
+
+Both are hashable, so they can key caches; :meth:`AgreementSpec.condition`
+memoizes the ``max_l`` condition per parameter tuple, which is what lets a
+batch (or several engines over the same spec) share one condition object and
+its legality structure instead of rebuilding it per run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.conditions import MaxLegalCondition
+from ..core.hierarchy import rounds_in_condition, rounds_outside_condition
+from ..exceptions import InvalidParameterError
+
+__all__ = ["AgreementSpec", "RunConfig"]
+
+#: Backends understood by the engine.
+BACKENDS = ("sync", "async")
+
+
+@lru_cache(maxsize=None)
+def _condition_for(n: int, domain: int, x: int, ell: int) -> MaxLegalCondition:
+    """One shared ``max_l`` condition per parameter tuple (process-wide)."""
+    return MaxLegalCondition(n=n, domain=domain, x=x, ell=ell)
+
+
+@dataclass(frozen=True)
+class AgreementSpec:
+    """The parameters of one condition-based agreement instance.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    t:
+        Maximum number of crashes (``0 <= t < n``).
+    k:
+        Coordination degree of the set agreement (at most ``k`` distinct
+        decided values).
+    d:
+        Degree of the condition (``x = t − d``).  ``None`` defaults to ``t``,
+        the degenerate classical regime in which the condition contains every
+        vector.
+    ell:
+        Degree ``l`` of the recognizing function ``max_l``.
+    domain:
+        Size ``m`` of the ordered value domain ``{1, ..., m}``.
+    """
+
+    n: int
+    t: int
+    k: int = 1
+    d: int | None = None
+    ell: int = 1
+    domain: int = 10
+
+    def __post_init__(self) -> None:
+        if self.d is None:
+            object.__setattr__(self, "d", self.t)
+        if not isinstance(self.n, int) or self.n < 1:
+            raise InvalidParameterError(f"n must be an integer >= 1, got {self.n!r}")
+        if not isinstance(self.t, int) or not 0 <= self.t < self.n:
+            raise InvalidParameterError(
+                f"t must satisfy 0 <= t < n, got t={self.t!r}, n={self.n}"
+            )
+        if not isinstance(self.k, int) or self.k < 1:
+            raise InvalidParameterError(f"k must be an integer >= 1, got {self.k!r}")
+        if not isinstance(self.d, int) or not 0 <= self.d <= self.t:
+            raise InvalidParameterError(
+                f"d must satisfy 0 <= d <= t, got d={self.d!r}, t={self.t}"
+            )
+        if not isinstance(self.ell, int) or self.ell < 1:
+            raise InvalidParameterError(f"ell must be an integer >= 1, got {self.ell!r}")
+        if not isinstance(self.domain, int) or self.domain < 1:
+            raise InvalidParameterError(
+                f"domain must be an integer >= 1, got {self.domain!r}"
+            )
+
+    # -- derived parameters --------------------------------------------------
+    @property
+    def x(self) -> int:
+        """The legality parameter ``x = t − d``."""
+        return self.t - self.d
+
+    def condition(self) -> MaxLegalCondition:
+        """The ``max_l`` condition of this spec (shared across equal specs)."""
+        return _condition_for(self.n, self.domain, self.x, self.ell)
+
+    def in_condition_bound(self) -> int:
+        """Round bound when the input is in C.
+
+        ``⌊(d + l − 1)/k⌋ + 1``, clamped by the unconditional deadline — in
+        the degenerate ``d = t`` regime the formula can exceed ``⌊t/k⌋ + 1``,
+        and the algorithm never runs past its last round.
+        """
+        return min(
+            rounds_in_condition(self.d, self.ell, self.k),
+            self.outside_condition_bound(),
+        )
+
+    def outside_condition_bound(self) -> int:
+        """``⌊t/k⌋ + 1``: the unconditional round bound."""
+        return rounds_outside_condition(self.t, self.k)
+
+    def replace(self, **changes) -> "AgreementSpec":
+        """A copy of the spec with *changes* applied (used by sweeps)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line description used in tables and logs."""
+        return (
+            f"n={self.n} t={self.t} k={self.k} d={self.d} l={self.ell} "
+            f"m={self.domain} (x={self.x})"
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How executions are carried out (backend, adversary, seeds, batching).
+
+    Parameters
+    ----------
+    backend:
+        ``"sync"`` — the round-based message-passing simulator of Section 6.2;
+        ``"async"`` — the shared-memory snapshot model of Section 4.
+    schedule:
+        Name of the default adversary schedule in the schedule registry
+        (resolved lazily per run; an explicit
+        :class:`~repro.sync.adversary.CrashSchedule` passed to the engine
+        always wins).
+    crashes:
+        Crash budget handed to the named schedule factory (e.g. how many
+        round-1 crashes ``"round-one"`` injects).
+    seed:
+        Base seed: run *i* of a batch derives its seed as ``seed + i``, so a
+        whole batch is a deterministic function of the config.
+    record_trace:
+        Record a full :class:`~repro.sync.trace.ExecutionTrace` on the
+        synchronous backend.
+    max_steps_per_process:
+        Step budget per process on the asynchronous backend.
+    chunk_size:
+        Number of runs processed per chunk by :meth:`repro.api.Engine.run_batch`.
+    """
+
+    backend: str = "sync"
+    schedule: str = "none"
+    crashes: int = 0
+    seed: int = 0
+    record_trace: bool = False
+    max_steps_per_process: int = 200
+    chunk_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.crashes < 0:
+            raise InvalidParameterError(f"crashes must be >= 0, got {self.crashes}")
+        if self.max_steps_per_process < 1:
+            raise InvalidParameterError(
+                f"max_steps_per_process must be >= 1, got {self.max_steps_per_process}"
+            )
+        if self.chunk_size < 1:
+            raise InvalidParameterError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy of the config with *changes* applied."""
+        return dataclasses.replace(self, **changes)

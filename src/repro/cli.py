@@ -1,13 +1,20 @@
 """Command-line interface of the reproduction.
 
-Installed as ``repro-setagreement``; it runs the paper's experiments and a few
-interactive demonstrations without writing any Python::
+Installed as ``repro`` (also reachable as ``repro-setagreement`` and
+``python -m repro``); it runs the paper's experiments and a few interactive
+demonstrations without writing any Python::
 
-    repro-setagreement list                    # list the available experiments
-    repro-setagreement run E6                  # regenerate one experiment table
-    repro-setagreement run all                 # regenerate every experiment
-    repro-setagreement lattice --n 6           # print Figure 1 for n processes
-    repro-setagreement demo --n 8 --t 4 --d 2 --k 2   # run one execution end to end
+    repro list                        # list the available experiments
+    repro run E6                      # regenerate one experiment table
+    repro run all                     # regenerate every experiment
+    repro lattice --n 6               # print Figure 1 for n processes
+    repro algorithms                  # list the registered algorithms/schedules
+    repro demo --n 8 --t 4 --d 2 --k 2          # one execution end to end
+    repro demo --algorithm floodmin --crashes 3  # the classical baseline
+    repro demo --backend async                   # same spec, shared memory
+
+Every execution goes through the unified :class:`repro.api.Engine`, so the
+``demo`` command accepts any registered algorithm on any backend it supports.
 """
 
 from __future__ import annotations
@@ -18,11 +25,16 @@ from random import Random
 from typing import Sequence
 
 from .analysis.experiments import EXPERIMENTS, list_experiments, run_experiment
-from .algorithms.condition_kset import ConditionBasedKSetAgreement
-from .core.conditions import MaxLegalCondition
+from .exceptions import ReproError
+from .api import (
+    ALGORITHMS,
+    SCHEDULES,
+    AgreementSpec,
+    Engine,
+    RunConfig,
+    available_algorithms,
+)
 from .core.lattice import ConditionLattice
-from .sync.adversary import crashes_in_round_one, no_crashes
-from .sync.runtime import SynchronousSystem
 from .workloads.vectors import vector_in_max_condition
 
 __all__ = ["main", "build_parser"]
@@ -31,7 +43,7 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of the CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="repro-setagreement",
+        prog="repro",
         description="Condition-based k-set agreement (Bonnet & Raynal, ICDCS 2008) reproduction",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -47,7 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot", action="store_true", help="emit Graphviz DOT instead of the ASCII matrix"
     )
 
-    demo_parser = subparsers.add_parser("demo", help="run one synchronous execution")
+    subparsers.add_parser(
+        "algorithms", help="list the registered algorithms and adversary schedules"
+    )
+
+    demo_parser = subparsers.add_parser("demo", help="run one execution end to end")
     demo_parser.add_argument("--n", type=int, default=8)
     demo_parser.add_argument("--t", type=int, default=4)
     demo_parser.add_argument("--d", type=int, default=2)
@@ -56,6 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--m", type=int, default=10, help="number of proposable values")
     demo_parser.add_argument("--crashes", type=int, default=0, help="round-1 crashes")
     demo_parser.add_argument("--seed", type=int, default=0)
+    demo_parser.add_argument(
+        "--algorithm",
+        default="condition-kset",
+        choices=available_algorithms(),
+        help="registry key of the algorithm to run (default condition-kset)",
+    )
+    demo_parser.add_argument(
+        "--backend",
+        default="sync",
+        choices=("sync", "async"),
+        help="execution backend (default sync)",
+    )
     return parser
 
 
@@ -83,49 +111,93 @@ def _command_lattice(n: int, dot: bool) -> int:
     return 0
 
 
-def _command_demo(n: int, t: int, d: int, ell: int, k: int, m: int, crashes: int, seed: int) -> int:
-    condition = MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
-    algorithm = ConditionBasedKSetAgreement(condition=condition, t=t, d=d, k=k)
-    vector = vector_in_max_condition(n, m, t - d, ell, Random(seed))
-    schedule = (
-        crashes_in_round_one(n, crashes, delivered_prefix=n // 2)
-        if crashes > 0
-        else no_crashes()
+def _command_algorithms() -> int:
+    print("algorithms:")
+    for name, entry in ALGORITHMS.items():
+        backends = "+".join(sorted(entry.backends))
+        print(f"  {name:<20} [{backends:<10}] {entry.summary}")
+    print()
+    print("schedules:")
+    for name, factory in SCHEDULES.items():
+        summary = getattr(factory, "summary", "")
+        print(f"  {name:<20} {summary}")
+    return 0
+
+
+def _command_demo(
+    n: int,
+    t: int,
+    d: int,
+    ell: int,
+    k: int,
+    m: int,
+    crashes: int,
+    seed: int,
+    algorithm: str,
+    backend: str,
+) -> int:
+    spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+    config = RunConfig(
+        backend=backend,
+        schedule="round-one" if crashes > 0 else "none",
+        crashes=crashes,
+        seed=seed,
+        record_trace=backend == "sync",
     )
-    system = SynchronousSystem(n=n, t=t, algorithm=algorithm, record_trace=True)
-    result = system.run(vector, schedule)
-    print(f"algorithm        : {algorithm.name}")
+    engine = Engine(spec, algorithm, config)
+    vector = vector_in_max_condition(n, m, spec.x, ell, Random(seed))
+    result = engine.run(vector)
+    membership = (
+        "n/a (no condition)"
+        if result.in_condition is None
+        else str(result.in_condition)
+    )
+    print(f"algorithm        : {algorithm} ({backend} backend)")
+    print(f"spec             : {spec.describe()}")
     print(f"input vector     : {list(vector.entries)}")
-    print(f"in the condition : {condition.contains(vector)}")
+    print(f"in the condition : {membership}")
     print(f"crash schedule   : {crashes} crash(es) in round 1")
-    print(f"rounds executed  : {result.rounds_executed}")
+    print(f"{result.time_unit} executed  : {result.duration}")
     print(f"decisions        : {dict(sorted(result.decisions.items()))}")
-    print(f"distinct values  : {sorted(map(repr, result.decided_values()))} (k = {k})")
+    print(
+        f"distinct values  : {sorted(map(repr, result.decided_values()))} "
+        f"(degree = {engine.agreement_degree(backend)})"
+    )
     print(f"summary          : {result.summary()}")
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro-setagreement`` executable."""
+    """Entry point of the ``repro`` / ``repro-setagreement`` executables."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    if arguments.command == "list":
-        return _command_list()
-    if arguments.command == "run":
-        return _command_run(arguments.experiment)
-    if arguments.command == "lattice":
-        return _command_lattice(arguments.n, arguments.dot)
-    if arguments.command == "demo":
-        return _command_demo(
-            arguments.n,
-            arguments.t,
-            arguments.d,
-            arguments.ell,
-            arguments.k,
-            arguments.m,
-            arguments.crashes,
-            arguments.seed,
-        )
+    try:
+        if arguments.command == "list":
+            return _command_list()
+        if arguments.command == "run":
+            return _command_run(arguments.experiment)
+        if arguments.command == "lattice":
+            return _command_lattice(arguments.n, arguments.dot)
+        if arguments.command == "algorithms":
+            return _command_algorithms()
+        if arguments.command == "demo":
+            return _command_demo(
+                arguments.n,
+                arguments.t,
+                arguments.d,
+                arguments.ell,
+                arguments.k,
+                arguments.m,
+                arguments.crashes,
+                arguments.seed,
+                arguments.algorithm,
+                arguments.backend,
+            )
+    except ReproError as error:
+        # Bad parameter combinations (t >= n, k mismatching the algorithm,
+        # backend unsupported, ...) are user errors, not crashes.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {arguments.command!r}")
     return 2
 

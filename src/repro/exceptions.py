@@ -70,6 +70,24 @@ class AgreementViolationError(ReproError):
     """
 
 
+class RegistryError(ReproError):
+    """A registry lookup or registration failed.
+
+    Raised by the :mod:`repro.api` registries when an unknown algorithm or
+    schedule name is requested, or when a name is registered twice.  The
+    message always lists the known names so typos are easy to fix.
+    """
+
+
+class BackendError(ReproError):
+    """An algorithm was asked to run on a backend it does not support.
+
+    Raised by :class:`repro.api.Engine` when, for example, a purely
+    synchronous algorithm such as FloodMin is dispatched to the asynchronous
+    shared-memory backend.
+    """
+
+
 class ProtocolStateError(ReproError):
     """An algorithm object was driven through an illegal state transition.
 

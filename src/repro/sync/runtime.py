@@ -175,16 +175,22 @@ class SynchronousSystem:
         self,
         proposals: InputVector | Mapping[int, Any] | list[Any],
         schedule: CrashSchedule | None = None,
+        *,
+        validate_schedule: bool = True,
     ) -> ExecutionResult:
         """Execute the algorithm on *proposals* under *schedule*.
 
         *proposals* may be an :class:`InputVector`, a list of values (one per
         process) or a mapping process id -> value.  The schedule defaults to
-        the failure-free one.
+        the failure-free one.  *validate_schedule* may be set to ``False`` by
+        callers that already validated the schedule against ``(n, t)`` — the
+        batch engine does this to validate each distinct schedule once instead
+        of once per run.
         """
         input_vector = self._normalise_proposals(proposals)
         schedule = schedule if schedule is not None else no_crashes()
-        schedule.validate(self._n, self._t)
+        if validate_schedule:
+            schedule.validate(self._n, self._t)
 
         processes = self._create_processes()
         for process_id, process in processes.items():

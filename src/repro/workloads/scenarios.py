@@ -42,6 +42,41 @@ class Scenario:
         """The legality parameter ``x = t − d``."""
         return self.t - self.d
 
+    def spec(self):
+        """The scenario's parameters as an :class:`~repro.api.AgreementSpec`."""
+        from ..api import AgreementSpec
+
+        return AgreementSpec(
+            n=self.n,
+            t=self.t,
+            k=self.k,
+            d=self.d,
+            ell=self.ell,
+            domain=self.condition.domain.size,
+        )
+
+    def run(
+        self,
+        algorithm: str = "condition-kset",
+        *,
+        backend: str = "sync",
+        record_trace: bool = False,
+        seed: int = 0,
+    ):
+        """Execute the scenario through the unified engine.
+
+        Returns the normalized :class:`~repro.api.RunResult`; the scenario's
+        bundled input vector and crash schedule are used as-is.
+        """
+        from ..api import Engine, RunConfig
+
+        engine = Engine(
+            self.spec(),
+            algorithm,
+            RunConfig(backend=backend, record_trace=record_trace, seed=seed),
+        )
+        return engine.run(self.input_vector, self.schedule)
+
 
 def _condition(n: int, m: int, t: int, d: int, ell: int) -> MaxLegalCondition:
     return MaxLegalCondition(n=n, domain=m, x=t - d, ell=ell)
