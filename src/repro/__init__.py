@@ -64,13 +64,17 @@ from .exceptions import (
 )
 from .core import (
     BOTTOM,
+    AllVectorsOracle,
     ConditionLattice,
     ConditionOracle,
     ExplicitCondition,
+    FrequencyGapCondition,
+    HammingBallCondition,
     InputVector,
     LegalityClass,
     MaxLegalCondition,
     MaxValues,
+    MinLegalCondition,
     MinValues,
     SynchronousClass,
     ValueDomain,
@@ -87,6 +91,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdversaryError",
     "AgreementViolationError",
+    "AllVectorsOracle",
     "BOTTOM",
     "BackendError",
     "ConditionLattice",
@@ -94,6 +99,8 @@ __all__ = [
     "DecodingError",
     "EmptyConditionError",
     "ExplicitCondition",
+    "FrequencyGapCondition",
+    "HammingBallCondition",
     "InputVector",
     "InvalidParameterError",
     "InvalidVectorError",
@@ -101,6 +108,7 @@ __all__ = [
     "LegalityError",
     "MaxLegalCondition",
     "MaxValues",
+    "MinLegalCondition",
     "MinValues",
     "ProtocolStateError",
     "RegistryError",
@@ -144,6 +152,10 @@ _LAZY_EXPORTS = {
     "RunResult": ("repro.api", "RunResult"),
     "available_algorithms": ("repro.api", "available_algorithms"),
     "available_schedules": ("repro.api", "available_schedules"),
+    # The condition registry (PR 2): families as first-class citizens.
+    "available_conditions": ("repro.api", "available_conditions"),
+    "register_condition": ("repro.api", "register_condition"),
+    "ConditionFamily": ("repro.api", "ConditionFamily"),
 }
 
 

@@ -676,6 +676,96 @@ def experiment_async_solvability(seed: int = 29) -> ExperimentOutput:
 
 
 # ----------------------------------------------------------------------
+# E13 — the condition registry: one workload, every family
+# ----------------------------------------------------------------------
+def experiment_condition_families(runs_per_family: int = 6, seed: int = 31) -> ExperimentOutput:
+    """E13: cross-family comparison — the same workload over every condition family."""
+    output = ExperimentOutput(
+        "E13", "Condition registry: one workload across the registered families"
+    )
+    from ..core.algebra import known_size
+    from ..sync.adversary import initial_crashes
+    from ..workloads.vectors import vector_in_condition
+
+    n, m, t, k = 6, 6, 2, 2
+    # (family, d, params): parameters chosen so each family is (x, 1)-legal —
+    # frequency-gap with gap = x, the ball around a unanimous centre with
+    # n >= x + 2·radius, and C_all in the degenerate d = t regime (l > x = 0).
+    cases = [
+        ("max-legal", 1, {}),
+        ("min-legal", 1, {}),
+        ("frequency-gap", 1, {"gap": 1}),
+        ("hamming-ball", 1, {"radius": 1}),
+        ("all-vectors", t, {}),
+    ]
+    rng = Random(seed)
+    all_correct = True
+    fast_path_ok = True
+    async_ok = True
+    for family, d, params in cases:
+        spec = AgreementSpec(
+            n=n, t=t, k=k, d=d, ell=1, domain=m,
+            condition=family, condition_params=params,
+        )
+        engine = Engine(spec, "condition-kset")
+        oracle = engine.condition
+        assert oracle is not None
+        vectors = [
+            vector_in_condition(oracle, n, m, rng) for _ in range(runs_per_family)
+        ]
+        schedule = (
+            crashes_in_round_one(n, spec.x, delivered_prefix=n // 2)
+            if spec.x > 0
+            else no_crashes()
+        )
+        results = engine.run_batch(vectors, schedule)
+        worst = 0
+        for vector, result in zip(vectors, results):
+            all_correct &= bool(check_execution(result, vector, k))
+            worst = max(worst, result.max_decision_round_of_correct())
+        # Fast path (Section 6.1): at most t − d round-1 crashes and an
+        # in-condition input decide by round 2 for any (x, l)-legal family.
+        fast_path_ok &= worst <= 2
+
+        crashed = tuple(rng.sample(range(n), spec.x)) if spec.x > 0 else ()
+        async_result = engine.run(
+            vectors[0],
+            initial_crashes(max(spec.x, 0), crashed) if crashed else no_crashes(),
+            backend="async",
+            seed=rng.randint(0, 10**6),
+        )
+        async_ok &= async_result.terminated and bool(
+            check_execution(async_result, vectors[0], spec.ell)
+        )
+
+        size = known_size(getattr(oracle, "inner", oracle))
+        output.rows.append(
+            {
+                "family": family,
+                "d": d,
+                "x": spec.x,
+                "condition": oracle.name,
+                "fraction of m^n": (
+                    round(size / m**n, 4) if size is not None else "-"
+                ),
+                "worst sync rounds": worst,
+                "async steps": async_result.duration,
+                "async terminated": async_result.terminated,
+            }
+        )
+    output.checks.append(
+        ("every family satisfies termination, validity and k-agreement", all_correct)
+    )
+    output.checks.append(
+        ("every family takes the 2-round fast path (≤ t−d round-1 crashes)", fast_path_ok)
+    )
+    output.checks.append(
+        ("every family solves async l-set agreement under x initial crashes", async_ok)
+    )
+    return output
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EXPERIMENTS: dict[str, Callable[[], ExperimentOutput]] = {
@@ -691,6 +781,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentOutput]] = {
     "E10": experiment_early_deciding,
     "E11": experiment_agreement_stress,
     "E12": experiment_async_solvability,
+    "E13": experiment_condition_families,
 }
 
 
@@ -704,7 +795,7 @@ def list_experiments() -> list[tuple[str, str]]:
 
 
 def run_experiment(experiment_id: str) -> ExperimentOutput:
-    """Run one experiment by id (``"E1"`` ... ``"E12"``)."""
+    """Run one experiment by id (``"E1"`` ... ``"E13"``)."""
     try:
         function = EXPERIMENTS[experiment_id.upper()]
     except KeyError:

@@ -7,20 +7,37 @@ objects:
 
 * :class:`AgreementSpec` — a frozen description of the agreement instance
   (``n``, ``t``, ``k``, the condition degree ``d``, the recognizing degree
-  ``l`` and the value domain ``m``);
+  ``l``, the value domain ``m``, and the *condition family*: a registry name
+  plus parameters, defaulting to the paper's ``max_l`` condition);
 * :class:`RunConfig` — a frozen description of *how* to execute (backend,
   default adversary schedule, seeds, step budgets, batch chunking);
 * :class:`Engine` — the façade: :meth:`~Engine.run` one vector,
   :meth:`~Engine.run_batch` many vectors with memoized condition work, or
-  :meth:`~Engine.sweep` a parameter grid;
-* :class:`RunResult` — the normalized record produced by every backend.
+  :meth:`~Engine.sweep` a parameter grid (including grids over the
+  ``condition`` field itself);
+* :class:`RunResult` — the normalized record produced by every backend,
+  annotated with the condition it consulted.
 
-Algorithms and adversary schedules are looked up in string-keyed registries
-(:data:`ALGORITHMS`, :data:`SCHEDULES`); registering a new one is a decorator
-away (:func:`register_algorithm`, :func:`register_schedule`) and instantly
-visible to the CLI, the experiments and the examples.
+Three string-keyed registries drive the system: :data:`ALGORITHMS` (the
+paper's algorithms and their baselines), :data:`SCHEDULES` (adversary crash
+schedules) and :data:`CONDITIONS` (condition families — ``max-legal``,
+``min-legal``, ``frequency-gap``, ``hamming-ball``, ``all-vectors``,
+``explicit``).  Registering a new entry is a decorator away
+(:func:`register_algorithm`, :func:`register_schedule`,
+:func:`register_condition`) and instantly visible to the CLI, the
+experiments, the scenarios and the examples.  Conditions also compose: the
+algebra of :mod:`repro.core.algebra` (union, intersection, difference,
+restriction) is exposed on every oracle with legality-aware ``l``
+propagation and optional legality validation at construction.
 """
 
+from .conditions import (
+    CONDITIONS,
+    ConditionFamily,
+    available_conditions,
+    register_condition,
+    resolve_condition,
+)
 from .engine import CacheStats, Engine, MemoizedCondition, SweepCell
 from .registry import (
     ALGORITHMS,
@@ -39,7 +56,9 @@ __all__ = [
     "ALGORITHMS",
     "AgreementSpec",
     "AlgorithmEntry",
+    "CONDITIONS",
     "CacheStats",
+    "ConditionFamily",
     "Engine",
     "MemoizedCondition",
     "Registry",
@@ -48,7 +67,10 @@ __all__ = [
     "SCHEDULES",
     "SweepCell",
     "available_algorithms",
+    "available_conditions",
     "available_schedules",
     "register_algorithm",
+    "register_condition",
     "register_schedule",
+    "resolve_condition",
 ]

@@ -93,6 +93,18 @@ class MemoizedCondition(ConditionOracle):
             "decode": CacheStats(),
         }
 
+    #: Introspection surface forwarded to the wrapped oracle (when it has it):
+    #: enumeration, sizing and structural attributes that the samplers, the
+    #: algebra and the experiment tables read off a condition.
+    _FORWARDED = ("enumerate_vectors", "size", "n", "domain", "recognizer")
+
+    def __getattr__(self, name: str):
+        if name in MemoizedCondition._FORWARDED:
+            return getattr(self.__dict__["_inner"], name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     @property
     def inner(self) -> ConditionOracle:
         """The wrapped oracle."""
@@ -215,7 +227,9 @@ class Engine:
             self._entry: AlgorithmEntry | None = ALGORITHMS.get(algorithm)
             self._algorithm_name = algorithm
             self._condition: MemoizedCondition | None = (
-                MemoizedCondition(spec.condition()) if self._entry.uses_condition else None
+                MemoizedCondition(spec.condition_oracle())
+                if self._entry.uses_condition
+                else None
             )
             self._sync_algorithm = (
                 self._entry.build(spec, self._condition)
@@ -405,17 +419,23 @@ class Engine:
         """Run a batch for every combination of the *grid* spec overrides.
 
         *grid* maps :class:`AgreementSpec` field names to candidate values,
-        e.g. ``{"d": (1, 2, 3), "k": (2, 3)}``.  Each cell derives a spec, a
-        sibling engine (same algorithm and config) and *runs_per_cell* input
-        vectors: inside the condition (``vectors="in"``), outside
-        (``"out"``), or uniform (``"random"``).  Invalid combinations —
-        e.g. ``d > t`` or an unsatisfiable outside-vector request — yield a
-        cell with :attr:`SweepCell.error` set instead of raising, so a grid
-        may safely cross parameter ranges.
+        e.g. ``{"d": (1, 2, 3), "k": (2, 3)}`` — including the ``condition``
+        field itself, so ``{"condition": ("max-legal", "hamming-ball")}``
+        sweeps the same workload across condition families.  Each cell
+        derives a spec, a sibling engine (same algorithm and config) and
+        *runs_per_cell* input vectors: inside the condition
+        (``vectors="in"``), outside (``"out"``), or uniform (``"random"``).
+        Non-default families draw their vectors through the generic
+        condition samplers of :mod:`repro.workloads.vectors`.  Invalid
+        combinations — e.g. ``d > t`` or an unsatisfiable outside-vector
+        request — yield a cell with :attr:`SweepCell.error` set instead of
+        raising, so a grid may safely cross parameter ranges.
         """
         from ..workloads.vectors import (
             random_vector,
+            vector_in_condition,
             vector_in_max_condition,
+            vector_outside_condition,
             vector_outside_max_condition,
         )
 
@@ -443,23 +463,51 @@ class Engine:
         for index, combo in enumerate(itertools.product(*(grid[name] for name in names))):
             overrides = dict(zip(names, combo))
             try:
-                cell_spec = self._spec.replace(**overrides)
+                cell_overrides = dict(overrides)
+                # Condition parameters belong to one family: when the sweep
+                # moves the condition axis to a different family, the base
+                # spec's params (e.g. a hamming-ball radius) would be rejected
+                # by the new family's builder — reset them unless the grid
+                # sets them explicitly.
+                if (
+                    "condition" in cell_overrides
+                    and "condition_params" not in cell_overrides
+                    and cell_overrides["condition"] != self._spec.condition
+                ):
+                    cell_overrides["condition_params"] = ()
+                cell_spec = self._spec.replace(**cell_overrides)
                 engine = Engine(cell_spec, self._algorithm_name, self._config)
                 rng = Random(self._config.seed + index)
+                default_family = cell_spec.condition == "max-legal"
+                cell_oracle = None if default_family else cell_spec.condition_oracle()
                 batch: list[InputVector] = []
                 for _ in range(runs_per_cell):
                     if vectors == "in":
-                        batch.append(
-                            vector_in_max_condition(
-                                cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                        if default_family:
+                            batch.append(
+                                vector_in_max_condition(
+                                    cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                                )
                             )
-                        )
+                        else:
+                            batch.append(
+                                vector_in_condition(
+                                    cell_oracle, cell_spec.n, cell_spec.domain, rng
+                                )
+                            )
                     elif vectors == "out":
-                        batch.append(
-                            vector_outside_max_condition(
-                                cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                        if default_family:
+                            batch.append(
+                                vector_outside_max_condition(
+                                    cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                                )
                             )
-                        )
+                        else:
+                            batch.append(
+                                vector_outside_condition(
+                                    cell_oracle, cell_spec.n, cell_spec.domain, rng
+                                )
+                            )
                     else:
                         batch.append(random_vector(cell_spec.n, cell_spec.domain, rng))
                 results = engine.run_batch(batch, schedule, backend=backend)
@@ -595,10 +643,13 @@ class Engine:
                 raise InvalidParameterError(f"max_steps must be >= 1, got {max_steps}")
         self._validate_once(schedule)
         in_condition = self._membership(vector)
+        condition_name = self._condition.name if self._condition is not None else None
 
         if backend == "sync":
             result = self._sync_system().run(vector, schedule, validate_schedule=False)
-            return RunResult.from_sync(result, self._algorithm_name, in_condition)
+            return RunResult.from_sync(
+                result, self._algorithm_name, in_condition, condition_name
+            )
 
         # Asynchronous backend: the Section 4 snapshot algorithm over the same
         # condition.  The schedule projects onto the only freedom of the model
@@ -628,4 +679,5 @@ class Engine:
             t=self._spec.t,
             in_condition=in_condition,
             schedule=schedule,
+            condition=condition_name,
         )

@@ -64,6 +64,9 @@ class RunResult:
     #: Membership of the input vector in the algorithm's condition
     #: (``None`` when the algorithm consults no condition).
     in_condition: bool | None = None
+    #: Display name of the condition oracle the run consulted (``None`` for
+    #: unconditioned baselines) — e.g. ``"max_1-legal(x=2, n=8, m=10)"``.
+    condition: str | None = None
     #: The crash schedule that was applied (``None`` on the async backend when
     #: crashes were injected directly).
     schedule: CrashSchedule | None = None
@@ -143,6 +146,7 @@ class RunResult:
         result: ExecutionResult,
         algorithm: str,
         in_condition: bool | None = None,
+        condition: str | None = None,
     ) -> "RunResult":
         """Normalize a synchronous :class:`ExecutionResult`."""
         return cls(
@@ -158,6 +162,7 @@ class RunResult:
             time_unit="rounds",
             terminated=result.all_correct_decided(),
             in_condition=in_condition,
+            condition=condition,
             schedule=result.schedule,
             trace=result.trace,
             raw=result,
@@ -172,6 +177,7 @@ class RunResult:
         t: int,
         in_condition: bool | None = None,
         schedule: CrashSchedule | None = None,
+        condition: str | None = None,
     ) -> "RunResult":
         """Normalize an asynchronous :class:`AsyncExecutionResult`."""
         return cls(
@@ -187,6 +193,7 @@ class RunResult:
             time_unit="steps",
             terminated=result.terminated,
             in_condition=in_condition,
+            condition=condition,
             schedule=schedule,
             trace=None,
             raw=result,

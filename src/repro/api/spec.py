@@ -4,26 +4,30 @@ Two immutable dataclasses describe everything the :class:`repro.api.Engine`
 needs to run an agreement instance:
 
 * :class:`AgreementSpec` — the *problem*: system size ``n``, crash budget
-  ``t``, coordination degree ``k`` and the condition parameters ``d`` (degree)
+  ``t``, coordination degree ``k``, the condition parameters ``d`` (degree)
   and ``ell`` (recognizing-function degree ``l``) over a ``domain`` of ``m``
-  ordered values.  The derived legality parameter is ``x = t − d``.
+  ordered values, and the *condition family*: a registry name
+  (``condition``, default ``"max-legal"``) plus its parameters
+  (``condition_params``).  The ``d`` / ``ell`` / ``domain`` knobs are sugar
+  that every family reads through the derived ``x = t − d``; the default
+  family resolves to exactly the seed's ``max_l`` oracle.
 * :class:`RunConfig` — the *execution*: which backend (synchronous rounds or
   asynchronous shared memory), the default adversary schedule, seeds, step
   budgets and batching knobs.
 
-Both are hashable, so they can key caches; :meth:`AgreementSpec.condition`
-memoizes the ``max_l`` condition per parameter tuple, which is what lets a
-batch (or several engines over the same spec) share one condition object and
-its legality structure instead of rebuilding it per run.
+Both are hashable, so they can key caches; :meth:`AgreementSpec.condition_oracle`
+resolves the named family through the condition registry and is memoized per
+spec, which is what lets a batch (or several engines over the same spec)
+share one condition object and its legality structure instead of rebuilding
+it per run.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from functools import lru_cache
+from typing import Any, Mapping
 
-from ..core.conditions import MaxLegalCondition
 from ..core.hierarchy import rounds_in_condition, rounds_outside_condition
 from ..exceptions import InvalidParameterError
 
@@ -33,10 +37,20 @@ __all__ = ["AgreementSpec", "RunConfig"]
 BACKENDS = ("sync", "async")
 
 
-@lru_cache(maxsize=None)
-def _condition_for(n: int, domain: int, x: int, ell: int) -> MaxLegalCondition:
-    """One shared ``max_l`` condition per parameter tuple (process-wide)."""
-    return MaxLegalCondition(n=n, domain=domain, x=x, ell=ell)
+def _freeze(value: Any) -> Any:
+    """Recursively convert *value* into a hashable, canonical form.
+
+    Mappings become sorted ``(key, frozen value)`` tuples, sequences become
+    tuples, sets become frozensets — so condition parameters written as plain
+    dicts and lists still leave the spec frozen, hashable and cache-keyable.
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(key), _freeze(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -57,9 +71,19 @@ class AgreementSpec:
         the degenerate classical regime in which the condition contains every
         vector.
     ell:
-        Degree ``l`` of the recognizing function ``max_l``.
+        Degree ``l`` of the recognizing function.
     domain:
         Size ``m`` of the ordered value domain ``{1, ..., m}``.
+    condition:
+        Name of the condition family in the condition registry
+        (:data:`repro.api.CONDITIONS`).  The default, ``"max-legal"``,
+        resolves the classical ``max_l`` condition from the ``d`` / ``ell`` /
+        ``domain`` knobs, exactly as the seed API did.
+    condition_params:
+        Family-specific parameters (e.g. ``{"radius": 2}`` for
+        ``"hamming-ball"``).  Accepts any mapping / sequence literal; it is
+        canonicalised into a hashable tuple of ``(key, value)`` pairs so the
+        spec stays frozen and cache-keyable.
     """
 
     n: int
@@ -68,6 +92,8 @@ class AgreementSpec:
     d: int | None = None
     ell: int = 1
     domain: int = 10
+    condition: str = "max-legal"
+    condition_params: Any = ()
 
     def __post_init__(self) -> None:
         if self.d is None:
@@ -90,6 +116,26 @@ class AgreementSpec:
             raise InvalidParameterError(
                 f"domain must be an integer >= 1, got {self.domain!r}"
             )
+        if not self.condition or not isinstance(self.condition, str):
+            raise InvalidParameterError(
+                f"condition must be a registry name, got {self.condition!r}"
+            )
+        frozen_params = _freeze(self.condition_params)
+        if not isinstance(frozen_params, tuple):
+            raise InvalidParameterError(
+                "condition_params must be a mapping or a sequence of (key, value) "
+                f"pairs, got {self.condition_params!r}"
+            )
+        for pair in frozen_params:
+            if not (isinstance(pair, tuple) and len(pair) == 2 and isinstance(pair[0], str)):
+                raise InvalidParameterError(
+                    f"condition_params entries must be (name, value) pairs, got {pair!r}"
+                )
+        object.__setattr__(self, "condition_params", frozen_params)
+        # Unknown family names fail at construction, not at the first run.
+        from .conditions import CONDITIONS
+
+        CONDITIONS.get(self.condition)
 
     # -- derived parameters --------------------------------------------------
     @property
@@ -97,9 +143,17 @@ class AgreementSpec:
         """The legality parameter ``x = t − d``."""
         return self.t - self.d
 
-    def condition(self) -> MaxLegalCondition:
-        """The ``max_l`` condition of this spec (shared across equal specs)."""
-        return _condition_for(self.n, self.domain, self.x, self.ell)
+    def condition_oracle(self):
+        """The condition oracle named by :attr:`condition` (shared across equal specs).
+
+        Resolution goes through the condition registry
+        (:func:`repro.api.conditions.resolve_condition`) and is memoized per
+        spec; the default ``"max-legal"`` family additionally shares one
+        oracle per ``(n, m, x, l)`` tuple, exactly like the seed API.
+        """
+        from .conditions import resolve_condition
+
+        return resolve_condition(self)
 
     def in_condition_bound(self) -> int:
         """Round bound when the input is in C.
@@ -123,10 +177,13 @@ class AgreementSpec:
 
     def describe(self) -> str:
         """One-line description used in tables and logs."""
-        return (
+        base = (
             f"n={self.n} t={self.t} k={self.k} d={self.d} l={self.ell} "
             f"m={self.domain} (x={self.x})"
         )
+        if self.condition != "max-legal":
+            base += f" cond={self.condition}"
+        return base
 
 
 @dataclass(frozen=True)

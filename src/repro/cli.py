@@ -9,35 +9,65 @@ demonstrations without writing any Python::
     repro run all                     # regenerate every experiment
     repro lattice --n 6               # print Figure 1 for n processes
     repro algorithms                  # list the registered algorithms/schedules
+    repro conditions                  # list the registered condition families
+    repro conditions describe hamming-ball --n 8 --t 4 --d 2 --param radius=2
+    repro conditions check frequency-gap --n 6 --t 2 --d 1   # (x, l)-legality
     repro demo --n 8 --t 4 --d 2 --k 2          # one execution end to end
+    repro demo --condition min-legal             # same spec, another family
     repro demo --algorithm floodmin --crashes 3  # the classical baseline
     repro demo --backend async                   # same spec, shared memory
 
 Every execution goes through the unified :class:`repro.api.Engine`, so the
-``demo`` command accepts any registered algorithm on any backend it supports.
+``demo`` command accepts any registered algorithm on any backend it supports,
+over any registered condition family.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 from random import Random
 from typing import Sequence
 
 from .analysis.experiments import EXPERIMENTS, list_experiments, run_experiment
-from .exceptions import ReproError
+from .exceptions import InvalidParameterError, ReproError
 from .api import (
     ALGORITHMS,
+    CONDITIONS,
     SCHEDULES,
     AgreementSpec,
     Engine,
     RunConfig,
     available_algorithms,
+    available_conditions,
 )
 from .core.lattice import ConditionLattice
-from .workloads.vectors import vector_in_max_condition
+from .workloads.vectors import vector_in_condition, vector_in_max_condition
 
 __all__ = ["main", "build_parser"]
+
+
+def parse_condition_params(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--param key=value`` options into a params dict.
+
+    Values go through :func:`ast.literal_eval` (``radius=2`` is an int,
+    ``center=(3,3,3,3)`` a tuple); anything that does not parse stays a
+    string.
+    """
+    params = {}
+    for item in pairs:
+        key, separator, text = item.partition("=")
+        if not separator or not key.strip():
+            raise InvalidParameterError(
+                f"condition parameters are written key=value, got {item!r}"
+            )
+        try:
+            value = ast.literal_eval(text)
+        except (ValueError, SyntaxError):
+            value = text
+        params[key.strip()] = value
+    return params
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +93,45 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithms", help="list the registered algorithms and adversary schedules"
     )
 
+    conditions_parser = subparsers.add_parser(
+        "conditions", help="list, describe or legality-check the condition families"
+    )
+    conditions_parser.add_argument(
+        "action",
+        nargs="?",
+        default="list",
+        choices=("list", "describe", "check", "legality-check"),
+        help="what to do (default: list the registered families)",
+    )
+    conditions_parser.add_argument(
+        "family", nargs="?", help="family name for describe/check"
+    )
+    conditions_parser.add_argument("--n", type=int, default=6)
+    conditions_parser.add_argument("--t", type=int, default=2)
+    conditions_parser.add_argument("--d", type=int, default=None)
+    conditions_parser.add_argument("--ell", type=int, default=1)
+    conditions_parser.add_argument("--k", type=int, default=2)
+    conditions_parser.add_argument("--m", type=int, default=4, help="domain size")
+    conditions_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="family parameter, repeatable (e.g. --param radius=2)",
+    )
+    conditions_parser.add_argument(
+        "--subset",
+        type=int,
+        default=3,
+        help="max subset size for the distance-property check (default 3)",
+    )
+    conditions_parser.add_argument(
+        "--budget",
+        type=int,
+        default=100_000,
+        help="enumeration budget for the legality check (default 100000)",
+    )
+
     demo_parser = subparsers.add_parser("demo", help="run one execution end to end")
     demo_parser.add_argument("--n", type=int, default=8)
     demo_parser.add_argument("--t", type=int, default=4)
@@ -83,6 +152,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="sync",
         choices=("sync", "async"),
         help="execution backend (default sync)",
+    )
+    demo_parser.add_argument(
+        "--condition",
+        default="max-legal",
+        choices=available_conditions(),
+        help="condition family to run against (default max-legal)",
+    )
+    demo_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="condition-family parameter, repeatable",
     )
     return parser
 
@@ -121,7 +203,79 @@ def _command_algorithms() -> int:
     for name, factory in SCHEDULES.items():
         summary = getattr(factory, "summary", "")
         print(f"  {name:<20} {summary}")
+    print()
+    print("conditions:")
+    for name, family in CONDITIONS.items():
+        print(f"  {name:<20} {family.summary}")
     return 0
+
+
+def _conditions_spec(arguments) -> AgreementSpec:
+    return AgreementSpec(
+        n=arguments.n,
+        t=arguments.t,
+        k=arguments.k,
+        d=arguments.d,
+        ell=arguments.ell,
+        domain=arguments.m,
+        condition=arguments.family,
+        condition_params=parse_condition_params(arguments.param),
+    )
+
+
+def _command_conditions(arguments) -> int:
+    action = "check" if arguments.action == "legality-check" else arguments.action
+    if action == "list":
+        print("condition families:")
+        for name, family in CONDITIONS.items():
+            print(f"  {name:<16} {family.summary}")
+            print(f"  {'':<16} parameters: {family.parameters}")
+        return 0
+
+    if arguments.family is None:
+        raise InvalidParameterError(
+            f"'conditions {arguments.action}' needs a family name; known "
+            f"families: {', '.join(available_conditions())}"
+        )
+    family = CONDITIONS.get(arguments.family)
+    spec = _conditions_spec(arguments)
+    oracle = spec.condition_oracle()
+
+    if action == "describe":
+        from .core.algebra import known_size
+
+        print(f"family     : {family.name}")
+        print(f"summary    : {family.summary}")
+        print(f"parameters : {family.parameters}")
+        print(f"spec       : {spec.describe()}")
+        print(f"oracle     : {oracle.name}")
+        print(f"degree l   : {oracle.ell}")
+        size = known_size(oracle)
+        total = arguments.m ** arguments.n
+        if size is not None:
+            print(f"size       : {size} of {total} vectors ({size / total:.3%})")
+        sample = vector_in_condition(oracle, spec.n, spec.domain, Random(0))
+        print(f"member     : {list(sample.entries)}")
+        return 0
+
+    # action == "check": materialise and verify (x, l)-legality.
+    from .core.algebra import recognizer_of, materialize
+    from .core.legality import check_legality
+
+    vectors = materialize(oracle, arguments.budget)
+    recognizer = recognizer_of(oracle)
+    if recognizer is None:
+        print(f"error: {oracle.name} carries no recognizing function", file=sys.stderr)
+        return 2
+    report = check_legality(
+        vectors, recognizer, x=spec.x, ell=oracle.ell, max_subset_size=arguments.subset
+    )
+    print(f"condition  : {oracle.name} ({len(vectors)} vectors)")
+    print(f"checked    : x={spec.x}, l={oracle.ell}, subsets up to {arguments.subset}")
+    print(f"verdict    : {report.summary()}")
+    for violation in report.violations[:5]:
+        print(f"  {violation.property_name}: {violation.detail}")
+    return 0 if report.legal else 1
 
 
 def _command_demo(
@@ -135,8 +289,19 @@ def _command_demo(
     seed: int,
     algorithm: str,
     backend: str,
+    condition: str = "max-legal",
+    params: Sequence[str] = (),
 ) -> int:
-    spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+    spec = AgreementSpec(
+        n=n,
+        t=t,
+        k=k,
+        d=d,
+        ell=ell,
+        domain=m,
+        condition=condition,
+        condition_params=parse_condition_params(params),
+    )
     config = RunConfig(
         backend=backend,
         schedule="round-one" if crashes > 0 else "none",
@@ -145,7 +310,12 @@ def _command_demo(
         record_trace=backend == "sync",
     )
     engine = Engine(spec, algorithm, config)
-    vector = vector_in_max_condition(n, m, spec.x, ell, Random(seed))
+    if condition == "max-legal":
+        vector = vector_in_max_condition(n, m, spec.x, ell, Random(seed))
+    elif engine.condition is not None:
+        vector = vector_in_condition(engine.condition, n, m, Random(seed))
+    else:
+        vector = vector_in_max_condition(n, m, spec.x, ell, Random(seed))
     result = engine.run(vector)
     membership = (
         "n/a (no condition)"
@@ -154,6 +324,7 @@ def _command_demo(
     )
     print(f"algorithm        : {algorithm} ({backend} backend)")
     print(f"spec             : {spec.describe()}")
+    print(f"condition        : {result.condition or 'n/a'}")
     print(f"input vector     : {list(vector.entries)}")
     print(f"in the condition : {membership}")
     print(f"crash schedule   : {crashes} crash(es) in round 1")
@@ -180,6 +351,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_lattice(arguments.n, arguments.dot)
         if arguments.command == "algorithms":
             return _command_algorithms()
+        if arguments.command == "conditions":
+            return _command_conditions(arguments)
         if arguments.command == "demo":
             return _command_demo(
                 arguments.n,
@@ -192,6 +365,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 arguments.seed,
                 arguments.algorithm,
                 arguments.backend,
+                arguments.condition,
+                arguments.param,
             )
     except ReproError as error:
         # Bad parameter combinations (t >= n, k mismatching the algorithm,

@@ -5,6 +5,17 @@ vectors and views, conditions, (x, l)-legality, the canonical recognizing
 functions, the counting formulas and the lattice of condition classes.
 """
 
+from .algebra import (
+    DEFAULT_ENUMERATION_BUDGET,
+    UnionCondition,
+    difference,
+    intersection,
+    known_size,
+    materialize,
+    recognizer_of,
+    restrict,
+    union,
+)
 from .conditions import ConditionOracle, ExplicitCondition, MaxLegalCondition
 from .counting import (
     brute_force_condition_size,
@@ -30,6 +41,12 @@ from .hierarchy import (
     hierarchy_fixed_ell,
     rounds_in_condition,
     rounds_outside_condition,
+)
+from .families import (
+    AllVectorsOracle,
+    FrequencyGapCondition,
+    HammingBallCondition,
+    MinLegalCondition,
 )
 from .lattice import ConditionLattice, LatticeCell
 from .legality import (
@@ -61,12 +78,16 @@ from .vectors import (
 )
 
 __all__ = [
+    "AllVectorsOracle",
     "BOTTOM",
     "Bottom",
     "ConditionLattice",
     "ConditionOracle",
+    "DEFAULT_ENUMERATION_BUDGET",
     "ExplicitCondition",
+    "FrequencyGapCondition",
     "FunctionRecognizer",
+    "HammingBallCondition",
     "InputVector",
     "LatticeCell",
     "LegalityClass",
@@ -75,9 +96,11 @@ __all__ = [
     "MappingRecognizer",
     "MaxLegalCondition",
     "MaxValues",
+    "MinLegalCondition",
     "MinValues",
     "RecognizingFunction",
     "SynchronousClass",
+    "UnionCondition",
     "ValueDomain",
     "View",
     "all_vectors_condition",
@@ -87,11 +110,18 @@ __all__ = [
     "check_legality",
     "check_validity",
     "condition_fraction",
+    "difference",
     "enumerate_all_vectors",
     "extend_to_view",
     "find_recognizing_function",
     "generalized_distance",
     "hamming_distance",
+    "intersection",
+    "known_size",
+    "materialize",
+    "recognizer_of",
+    "restrict",
+    "union",
     "hierarchy_fixed_d",
     "hierarchy_fixed_ell",
     "intersecting_entries",

@@ -1,0 +1,432 @@
+"""Composable algebra on condition oracles: ``∪``, ``∩``, ``\\`` and restriction.
+
+Conditions are sets of input vectors, so they compose as sets; what needs
+care is what happens to the *oracle* questions (membership, the predicate
+``P``, the Definition 4 decoder) and to the degree ``l`` of the result:
+
+* :func:`union` is **lazy**: it works on any two oracles, answers membership
+  and ``P`` by disjunction, and decodes a view as the intersection of the
+  per-operand decoded sets (the Definition 4 intersection over ``A ∪ B``
+  splits into the intersections over ``A`` and over ``B``).  The degree
+  propagates as ``l = max(l_A, l_B)`` — a vector of the union may encode as
+  many values as its most permissive side.
+* :func:`intersection`, :func:`difference` and :func:`restrict` **materialise**
+  the resulting vector set (bounded by an enumeration *budget*) into an
+  :class:`~repro.core.conditions.ExplicitCondition`, which answers every
+  question exactly through its indexed, memoized scan.  The recognizer is
+  inherited from the operand with the *smaller* degree (``l = min`` for the
+  intersection: either recognizer witnesses the result, and fewer encodable
+  values is the stronger guarantee); the difference and the restriction keep
+  the recognizer of the left / base operand.
+
+Failure modes are loud, never a silent bad oracle:
+
+* operands of different vector sizes raise
+  :class:`~repro.exceptions.InvalidVectorError` naming both families;
+* an empty intersection / difference / restriction raises
+  :class:`~repro.exceptions.EmptyConditionError` naming the operands;
+* a materialisation larger than the budget raises
+  :class:`~repro.exceptions.InvalidParameterError`.
+
+Each materialising operation accepts ``check_x``: when given, the
+construction runs :func:`repro.core.legality.check_legality` on the result
+with the inherited recognizer and raises
+:class:`~repro.exceptions.LegalityError` if the composition lost
+(x, l)-legality — composition does *not* preserve legality in general, and
+this is the guard rail for callers that feed the result to an algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from ..exceptions import (
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+    LegalityError,
+    ReproError,
+)
+from .conditions import ConditionOracle, ExplicitCondition
+from .recognizing import FunctionRecognizer, RecognizingFunction
+from .vectors import InputVector, View
+
+__all__ = [
+    "DEFAULT_CHECK_SUBSET_SIZE",
+    "DEFAULT_ENUMERATION_BUDGET",
+    "UnionCondition",
+    "union",
+    "intersection",
+    "difference",
+    "restrict",
+    "materialize",
+    "known_size",
+    "recognizer_of",
+]
+
+#: Hard cap on how many vectors a materialising operation may enumerate.
+DEFAULT_ENUMERATION_BUDGET = 200_000
+
+
+# ----------------------------------------------------------------------
+# Introspection helpers
+# ----------------------------------------------------------------------
+def known_size(oracle: ConditionOracle) -> int | None:
+    """The number of vectors of *oracle*, when cheaply known (else ``None``)."""
+    try:
+        return len(oracle)  # type: ignore[arg-type]
+    except TypeError:
+        pass
+    size = getattr(oracle, "size", None)
+    if callable(size):
+        try:
+            return int(size())
+        except ReproError:
+            return None
+    return None
+
+
+def _ell_of(oracle: ConditionOracle) -> int | None:
+    """The degree ``l`` of *oracle*, or ``None`` when it has no recognizer."""
+    try:
+        return oracle.ell
+    except ReproError:
+        return None
+
+
+def recognizer_of(oracle: ConditionOracle) -> RecognizingFunction | None:
+    """A recognizing function answering ``h(I)`` for vectors of *oracle*.
+
+    Prefers the oracle's own recognizer object; otherwise wraps its decoder
+    (on a full vector, Definition 4 degenerates to ``h(I)`` itself).
+    """
+    recognizer = getattr(oracle, "recognizer", None)
+    if isinstance(recognizer, RecognizingFunction):
+        return recognizer
+    ell = _ell_of(oracle)
+    if ell is None:
+        return None
+    return FunctionRecognizer(ell, oracle.decode, name=f"h({oracle.name})")
+
+
+def _require_same_n(a: ConditionOracle, b: ConditionOracle, operation: str) -> None:
+    n_a = getattr(a, "n", None)
+    n_b = getattr(b, "n", None)
+    if n_a is not None and n_b is not None and n_a != n_b:
+        raise InvalidVectorError(
+            f"cannot take the {operation} of {a.name} (n={n_a}) and "
+            f"{b.name} (n={n_b}): vector sizes differ"
+        )
+
+
+def materialize(
+    oracle: ConditionOracle, budget: int = DEFAULT_ENUMERATION_BUDGET
+) -> tuple[InputVector, ...]:
+    """Enumerate every vector of *oracle*, bounded by *budget*.
+
+    Raises :class:`InvalidParameterError` when the oracle exposes no
+    ``enumerate_vectors`` method or when it holds more than *budget* vectors.
+    """
+    enumerate_vectors = getattr(oracle, "enumerate_vectors", None)
+    if enumerate_vectors is None:
+        raise InvalidParameterError(
+            f"{oracle.name} cannot be enumerated: it exposes no "
+            "enumerate_vectors() method"
+        )
+    known = known_size(oracle)
+    if known is not None and known > budget:
+        raise InvalidParameterError(
+            f"{oracle.name} holds {known} vectors, more than the enumeration "
+            f"budget of {budget}; raise the budget or compose smaller conditions"
+        )
+    vectors: list[InputVector] = []
+    for vector in enumerate_vectors():
+        vectors.append(vector)
+        if len(vectors) > budget:
+            raise InvalidParameterError(
+                f"{oracle.name} exceeded the enumeration budget of {budget} "
+                "vectors; raise the budget or compose smaller conditions"
+            )
+    return tuple(vectors)
+
+
+#: Subset-size bound applied to the distance property when a materialising
+#: operation is asked to verify legality at construction.  The full property
+#: quantifies over every subset of the condition (exponential); up to this
+#: size the verification is sound for violations and catches the pairwise and
+#: triple-wise failures that compositions actually introduce.
+DEFAULT_CHECK_SUBSET_SIZE = 3
+
+
+def _check_result_legality(
+    result: ExplicitCondition,
+    check_x: int | None,
+    operation: str,
+    operands: str,
+    check_subset_size: int | None,
+) -> None:
+    if check_x is None:
+        return
+    recognizer = result.recognizer
+    if recognizer is None:
+        raise InvalidParameterError(
+            f"cannot check the legality of the {operation} of {operands}: "
+            "no recognizer was inherited"
+        )
+    from .legality import check_legality
+
+    report = check_legality(
+        result,
+        recognizer,
+        x=check_x,
+        ell=result.ell,
+        max_subset_size=check_subset_size,
+    )
+    if not report:
+        violation = report.first_violation()
+        assert violation is not None
+        raise LegalityError(
+            f"the {operation} of {operands} is not ({check_x}, {result.ell})-legal: "
+            f"{violation.property_name} fails — {violation.detail}"
+        )
+
+
+def _derived_explicit(
+    vectors: tuple[InputVector, ...],
+    primary: ConditionOracle,
+    name: str,
+    operation: str,
+    operands: str,
+    check_x: int | None,
+    check_subset_size: int | None,
+) -> ExplicitCondition:
+    if not vectors:
+        raise EmptyConditionError(f"the {operation} of {operands} is empty")
+    result = ExplicitCondition(vectors, recognizer_of(primary), name)
+    _check_result_legality(result, check_x, operation, operands, check_subset_size)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Union (lazy)
+# ----------------------------------------------------------------------
+class UnionCondition(ConditionOracle):
+    """The lazy set union of two condition oracles.
+
+    Works on implicit oracles of any size: no enumeration happens.  The
+    decoded set of a view is the intersection of the per-operand decoded sets
+    (over the operands whose ``P`` holds), which is exactly the Definition 4
+    intersection over ``A ∪ B`` with each vector recognized by its own side.
+    The union of two legal conditions is **not** legal in general; the
+    decoded set may come back empty, and :meth:`check_legality` materialises
+    the union to verify.
+    """
+
+    def __init__(self, a: ConditionOracle, b: ConditionOracle, name: str | None = None):
+        _require_same_n(a, b, "union")
+        self._a = a
+        self._b = b
+        self._name = name or f"{a.name} ∪ {b.name}"
+
+    @property
+    def operands(self) -> tuple[ConditionOracle, ConditionOracle]:
+        """The two united conditions."""
+        return (self._a, self._b)
+
+    @property
+    def n(self) -> int | None:
+        """The vector size, when either operand reports one."""
+        return getattr(self._a, "n", None) or getattr(self._b, "n", None)
+
+    @property
+    def ell(self) -> int:
+        ells = [e for e in (_ell_of(self._a), _ell_of(self._b)) if e is not None]
+        if not ells:
+            raise InvalidParameterError(
+                f"neither operand of {self._name} carries a recognizing function"
+            )
+        return max(ells)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"UnionCondition({self._a!r}, {self._b!r})"
+
+    def contains(self, vector: InputVector) -> bool:
+        return self._a.contains(vector) or self._b.contains(vector)
+
+    def is_compatible(self, view: View) -> bool:
+        return self._a.is_compatible(view) or self._b.is_compatible(view)
+
+    def decode(self, view: View) -> frozenset[Any]:
+        in_a = self._a.is_compatible(view)
+        in_b = self._b.is_compatible(view)
+        if not in_a and not in_b:
+            raise DecodingError(
+                f"view {view!r} is not compatible with {self._name}: P(J) is false"
+            )
+        if in_a and in_b:
+            return self._a.decode(view) & self._b.decode(view)
+        return self._a.decode(view) if in_a else self._b.decode(view)
+
+    def enumerate_vectors(self) -> Iterator[InputVector]:
+        """Yield the vectors of both operands (deduplicated); needs both enumerable."""
+        for side in (self._a, self._b):
+            if getattr(side, "enumerate_vectors", None) is None:
+                raise InvalidParameterError(
+                    f"cannot enumerate {self._name}: {side.name} exposes no "
+                    "enumerate_vectors() method"
+                )
+        yield from self._a.enumerate_vectors()  # type: ignore[attr-defined]
+        for vector in self._b.enumerate_vectors():  # type: ignore[attr-defined]
+            if not self._a.contains(vector):
+                yield vector
+
+    def check_legality(self, x: int, max_subset_size: int | None = None):
+        """Materialise the union and verify (x, l)-legality with per-side ``h``."""
+        from .legality import check_legality as _check
+
+        vectors = materialize(self)
+        recognizer = FunctionRecognizer(self.ell, self._recognize_vector, name=self._name)
+        return _check(vectors, recognizer, x=x, ell=self.ell, max_subset_size=max_subset_size)
+
+    def _recognize_vector(self, vector: InputVector) -> frozenset[Any]:
+        if self._a.contains(vector) and self._b.contains(vector):
+            return self._a.decode(vector) & self._b.decode(vector)
+        if self._a.contains(vector):
+            return self._a.decode(vector)
+        return self._b.decode(vector)
+
+
+def union(a: ConditionOracle, b: ConditionOracle, *, name: str | None = None) -> UnionCondition:
+    """The lazy union ``A ∪ B`` (see :class:`UnionCondition`)."""
+    return UnionCondition(a, b, name)
+
+
+# ----------------------------------------------------------------------
+# Materialising operations
+# ----------------------------------------------------------------------
+def intersection(
+    a: ConditionOracle,
+    b: ConditionOracle,
+    *,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+    check_x: int | None = None,
+    check_subset_size: int | None = DEFAULT_CHECK_SUBSET_SIZE,
+    name: str | None = None,
+) -> ExplicitCondition:
+    """The materialised intersection ``A ∩ B``.
+
+    The side with the smaller known size is enumerated and filtered through
+    the other side's membership test, so only one operand needs to be
+    enumerable.  The recognizer (and hence ``l``) is inherited from the
+    operand with the smaller degree.
+    """
+    _require_same_n(a, b, "intersection")
+    operands = f"{a.name} and {b.name}"
+    first, second = _enumeration_order(a, b)
+    members = tuple(
+        vector for vector in materialize(first, budget) if second.contains(vector)
+    )
+    primary = _primary_by_ell(a, b)
+    return _derived_explicit(
+        members,
+        primary,
+        name or f"{a.name} ∩ {b.name}",
+        "intersection",
+        operands,
+        check_x,
+        check_subset_size,
+    )
+
+
+def difference(
+    a: ConditionOracle,
+    b: ConditionOracle,
+    *,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+    check_x: int | None = None,
+    check_subset_size: int | None = DEFAULT_CHECK_SUBSET_SIZE,
+    name: str | None = None,
+) -> ExplicitCondition:
+    """The materialised difference ``A \\ B`` (keeps A's recognizer).
+
+    Only *a* needs to be enumerable; *b* only answers membership.
+    """
+    _require_same_n(a, b, "difference")
+    operands = f"{a.name} and {b.name}"
+    members = tuple(
+        vector for vector in materialize(a, budget) if not b.contains(vector)
+    )
+    return _derived_explicit(
+        members,
+        a,
+        name or f"{a.name} \\ {b.name}",
+        "difference",
+        operands,
+        check_x,
+        check_subset_size,
+    )
+
+
+def restrict(
+    base: ConditionOracle,
+    predicate: Callable[[InputVector], bool],
+    *,
+    budget: int = DEFAULT_ENUMERATION_BUDGET,
+    check_x: int | None = None,
+    check_subset_size: int | None = DEFAULT_CHECK_SUBSET_SIZE,
+    name: str | None = None,
+) -> ExplicitCondition:
+    """The materialised restriction ``{I ∈ C : predicate(I)}`` (keeps C's recognizer)."""
+    members = tuple(
+        vector for vector in materialize(base, budget) if predicate(vector)
+    )
+    return _derived_explicit(
+        members,
+        base,
+        name or f"{base.name}|restricted",
+        "restriction",
+        f"{base.name} under the given predicate",
+        check_x,
+        check_subset_size,
+    )
+
+
+def _enumeration_order(
+    a: ConditionOracle, b: ConditionOracle
+) -> tuple[ConditionOracle, ConditionOracle]:
+    """Pick which operand to enumerate: the smaller known enumerable side."""
+    a_enum = getattr(a, "enumerate_vectors", None) is not None
+    b_enum = getattr(b, "enumerate_vectors", None) is not None
+    if not a_enum and not b_enum:
+        raise InvalidParameterError(
+            f"neither {a.name} nor {b.name} can be enumerated: the intersection "
+            "needs at least one enumerable operand"
+        )
+    if a_enum and not b_enum:
+        return a, b
+    if b_enum and not a_enum:
+        return b, a
+    size_a, size_b = known_size(a), known_size(b)
+    if size_a is not None and (size_b is None or size_a <= size_b):
+        return a, b
+    if size_b is not None:
+        return b, a
+    return a, b
+
+
+def _primary_by_ell(a: ConditionOracle, b: ConditionOracle) -> ConditionOracle:
+    """The operand whose recognizer the intersection inherits (smaller ``l``)."""
+    ell_a, ell_b = _ell_of(a), _ell_of(b)
+    if ell_a is None and ell_b is None:
+        return a
+    if ell_b is None:
+        return a
+    if ell_a is None:
+        return b
+    return a if ell_a <= ell_b else b

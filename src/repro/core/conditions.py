@@ -13,7 +13,10 @@ The module therefore defines the :class:`ConditionOracle` interface exposing
 exactly those questions, and two implementations:
 
 * :class:`ExplicitCondition` — a finite, enumerated set of vectors with an
-  attached recognizing function; every question is answered by scanning.
+  attached recognizing function.  Queries are answered through a lazily built
+  positional value index (a bitmask per ``(position, value)`` pair) and a
+  per-oracle memo keyed by view entries, so the repeated views of a
+  simulation never rescan the whole vector set.
 * :class:`MaxLegalCondition` — the *maximal* (x, l)-legal condition generated
   by ``max_l`` over a finite value domain (Theorem 2).  Its number of vectors
   is exponential in ``n`` so it is never enumerated on the simulation path:
@@ -34,7 +37,7 @@ from ..exceptions import (
     InvalidVectorError,
 )
 from .recognizing import MaxValues, RecognizingFunction, extend_to_view
-from .values import ValueDomain
+from .values import ValueDomain, is_bottom
 from .vectors import InputVector, View
 
 __all__ = ["ConditionOracle", "ExplicitCondition", "MaxLegalCondition"]
@@ -83,6 +86,31 @@ class ConditionOracle:
     def __contains__(self, vector: InputVector) -> bool:
         return self.contains(vector)
 
+    # -- condition algebra (implemented in repro.core.algebra) ---------------
+    def union(self, other: "ConditionOracle") -> "ConditionOracle":
+        """Lazy set union ``C ∪ C'`` with per-operand decoding (Definition 4)."""
+        from .algebra import union as _union
+
+        return _union(self, other)
+
+    def intersection(self, other: "ConditionOracle", **options) -> "ConditionOracle":
+        """Materialized set intersection ``C ∩ C'`` (see :mod:`repro.core.algebra`)."""
+        from .algebra import intersection as _intersection
+
+        return _intersection(self, other, **options)
+
+    def difference(self, other: "ConditionOracle", **options) -> "ConditionOracle":
+        """Materialized set difference ``C \\ C'`` (see :mod:`repro.core.algebra`)."""
+        from .algebra import difference as _difference
+
+        return _difference(self, other, **options)
+
+    def restrict(self, predicate, **options) -> "ConditionOracle":
+        """Materialized restriction ``{I ∈ C : predicate(I)}``."""
+        from .algebra import restrict as _restrict
+
+        return _restrict(self, predicate, **options)
+
 
 class ExplicitCondition(ConditionOracle):
     """A finite condition given extensionally as a set of input vectors.
@@ -122,6 +150,12 @@ class ExplicitCondition(ConditionOracle):
         self._n = next(iter(sizes))
         self._recognizer = recognizer
         self._name = name or f"explicit({len(frozen)} vectors)"
+        # Lazily built query structures (see _ensure_index): a stable vector
+        # order, one bitmask per (position, value) pair, and per-query memos.
+        self._ordered: tuple[InputVector, ...] | None = None
+        self._masks: dict[tuple[int, Any], int] | None = None
+        self._compatible_memo: dict[tuple[Any, ...], int] = {}
+        self._decode_memo: dict[tuple[Any, ...], frozenset[Any]] = {}
 
     # -- basic container behaviour ---------------------------------------
     @property
@@ -169,38 +203,116 @@ class ExplicitCondition(ConditionOracle):
     def __repr__(self) -> str:
         return f"ExplicitCondition(name={self._name!r}, size={len(self._vectors)})"
 
+    # -- the positional value index ----------------------------------------
+    def _ensure_index(self) -> None:
+        """Build the (position, value) → membership-bitmask index once.
+
+        Bit ``i`` of ``self._masks[(pos, val)]`` is set iff vector ``i`` (in
+        ``self._ordered``) carries ``val`` at ``pos``.  The vectors containing
+        a view are then the AND of the masks of its non-⊥ entries — no scan.
+        """
+        if self._masks is not None:
+            return
+        ordered = tuple(self._vectors)
+        masks: dict[tuple[int, Any], int] = {}
+        for index, vector in enumerate(ordered):
+            bit = 1 << index
+            for position, value in enumerate(vector.entries):
+                key = (position, value)
+                masks[key] = masks.get(key, 0) | bit
+        self._ordered = ordered
+        self._masks = masks
+
+    def _candidate_mask(self, view: View) -> int:
+        """Bitmask of the vectors of the condition containing *view*."""
+        key = view.entries
+        memo = self._compatible_memo
+        mask = memo.get(key)
+        if mask is not None:
+            return mask
+        self._ensure_index()
+        assert self._masks is not None
+        mask = (1 << len(self._vectors)) - 1
+        for position, value in enumerate(key):
+            if is_bottom(value):
+                continue
+            mask &= self._masks.get((position, value), 0)
+            if not mask:
+                break
+        memo[key] = mask
+        return mask
+
     # -- oracle interface --------------------------------------------------
     def contains(self, vector: InputVector) -> bool:
         return vector in self._vectors
 
     def vectors_containing(self, view: View) -> tuple[InputVector, ...]:
         """All vectors ``I ∈ C`` such that ``J ≤ I``."""
-        return tuple(v for v in self._vectors if view.contained_in(v))
+        mask = self._candidate_mask(view)
+        assert self._ordered is not None
+        return tuple(
+            vector for index, vector in enumerate(self._ordered) if mask >> index & 1
+        )
 
     def is_compatible(self, view: View) -> bool:
-        return any(view.contained_in(v) for v in self._vectors)
+        return bool(self._candidate_mask(view))
 
     def decode(self, view: View) -> frozenset[Any]:
         if self._recognizer is None:
             raise InvalidParameterError(
                 "cannot decode a view: this condition has no recognizing function"
             )
-        return extend_to_view(self._recognizer, self._vectors, view)
+        key = view.entries
+        memo = self._decode_memo
+        decoded = memo.get(key)
+        if decoded is None:
+            decoded = memo[key] = extend_to_view(
+                self._recognizer, self.vectors_containing(view), view
+            )
+        return decoded
+
+    def enumerate_vectors(self) -> Iterator[InputVector]:
+        """Yield every vector of the condition (finite, already materialized)."""
+        return iter(self._vectors)
 
     # -- construction helpers ---------------------------------------------
     def with_recognizer(self, recognizer: RecognizingFunction) -> "ExplicitCondition":
         """Return the same condition with a (new) recognizing function attached."""
         return ExplicitCondition(self._vectors, recognizer, self._name)
 
-    def union(self, other: "ExplicitCondition") -> "ExplicitCondition":
-        """Set union of two explicit conditions (recognizers are dropped)."""
-        if self._n != other._n:
-            raise InvalidVectorError("cannot unite conditions of different vector sizes")
-        return ExplicitCondition(self._vectors | other._vectors, None, f"{self._name} ∪ {other._name}")
+    def union(self, other: "ConditionOracle") -> "ConditionOracle":
+        """Set union of two conditions.
 
-    def restrict(self, predicate) -> "ExplicitCondition":
-        """Keep only the vectors satisfying *predicate* (recognizer preserved)."""
+        Two explicit conditions merge eagerly into one
+        :class:`ExplicitCondition` (the recognizer is kept only when both
+        operands share the same one); any other operand goes through the lazy
+        algebra union of :mod:`repro.core.algebra`.
+        """
+        if not isinstance(other, ExplicitCondition):
+            return super().union(other)
+        if self._n != other._n:
+            raise InvalidVectorError(
+                f"cannot unite {self.name} (n={self._n}) with "
+                f"{other.name} (n={other._n}): vector sizes differ"
+            )
+        shared = self._recognizer if self._recognizer == other._recognizer else None
+        return ExplicitCondition(
+            self._vectors | other._vectors, shared, f"{self._name} ∪ {other._name}"
+        )
+
+    def restrict(self, predicate, **options) -> "ConditionOracle":
+        """Keep only the vectors satisfying *predicate* (recognizer preserved).
+
+        Options (``budget``, ``check_x``, ...) route through the generic
+        algebra restriction; the plain call keeps the historical eager path.
+        """
+        if options:
+            return super().restrict(predicate, **options)
         kept = frozenset(v for v in self._vectors if predicate(v))
+        if not kept:
+            raise EmptyConditionError(
+                f"restricting {self.name} left no vector: the result is empty"
+            )
         return ExplicitCondition(kept, self._recognizer, f"{self._name}|restricted")
 
     def is_subset_of(self, other: "ExplicitCondition") -> bool:

@@ -180,6 +180,15 @@ class ValueDomain(Sequence):
         """Number of proposable values strictly greater than *value*."""
         return len(self.values_greater_than(value))
 
+    def count_less_than(self, value: int) -> int:
+        """Number of proposable values strictly smaller than *value*.
+
+        The mirror of :meth:`count_greater_than`, used by the analytic decoder
+        of the ``min_l`` condition (the symmetry noted in Section 2.3: every
+        statement about ``max_l`` remains true with ``min_l``).
+        """
+        return max(0, min(int(value), self._size + 1) - 1)
+
     def validate_value(self, value: Any) -> None:
         """Raise :class:`InvalidParameterError` unless *value* belongs to the domain."""
         if value not in self:

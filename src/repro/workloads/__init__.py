@@ -2,6 +2,7 @@
 
 from .scenarios import (
     Scenario,
+    condition_family_scenario,
     degraded_path_scenario,
     fast_path_scenario,
     outside_condition_scenario,
@@ -11,19 +12,24 @@ from .vectors import (
     random_vector,
     skewed_vector,
     unanimous_vector,
+    vector_in_condition,
     vector_in_max_condition,
+    vector_outside_condition,
     vector_outside_max_condition,
 )
 
 __all__ = [
     "Scenario",
     "boundary_vector",
+    "condition_family_scenario",
     "degraded_path_scenario",
     "fast_path_scenario",
     "outside_condition_scenario",
     "random_vector",
     "skewed_vector",
     "unanimous_vector",
+    "vector_in_condition",
     "vector_in_max_condition",
+    "vector_outside_condition",
     "vector_outside_max_condition",
 ]

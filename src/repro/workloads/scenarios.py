@@ -2,23 +2,36 @@
 
 The examples and some integration tests want ready-made "stories" matching the
 regimes distinguished by the paper (Section 6.1).  Each scenario bundles the
-system parameters, an input vector, a schedule and the round bound the paper
-predicts for that regime.
+system parameters, a condition (any registry family, not just ``max_l``), an
+input vector, a schedule and the round bound the paper predicts for that
+regime.  :func:`condition_family_scenario` builds the same story for an
+arbitrary registered condition family.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from random import Random
+from typing import Any, Mapping
 
-from ..core.conditions import MaxLegalCondition
+from ..core.conditions import ConditionOracle, MaxLegalCondition
 from ..core.hierarchy import rounds_in_condition, rounds_outside_condition
 from ..core.vectors import InputVector
 from ..exceptions import InvalidParameterError
 from ..sync.adversary import CrashSchedule, crashes_in_round_one, no_crashes, staggered_schedule
-from .vectors import vector_in_max_condition, vector_outside_max_condition
+from .vectors import (
+    vector_in_condition,
+    vector_in_max_condition,
+    vector_outside_max_condition,
+)
 
-__all__ = ["Scenario", "fast_path_scenario", "degraded_path_scenario", "outside_condition_scenario"]
+__all__ = [
+    "Scenario",
+    "condition_family_scenario",
+    "fast_path_scenario",
+    "degraded_path_scenario",
+    "outside_condition_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -31,11 +44,15 @@ class Scenario:
     d: int
     ell: int
     k: int
-    condition: MaxLegalCondition
+    condition: ConditionOracle
     input_vector: InputVector
     schedule: CrashSchedule
     predicted_round_bound: int
     description: str
+    #: Condition registry name + frozen params, so :meth:`spec` round-trips
+    #: through the unified API with the same family the scenario bundles.
+    condition_name: str = "max-legal"
+    condition_params: Any = ()
 
     @property
     def x(self) -> int:
@@ -53,6 +70,8 @@ class Scenario:
             d=self.d,
             ell=self.ell,
             domain=self.condition.domain.size,
+            condition=self.condition_name,
+            condition_params=self.condition_params,
         )
 
     def run(
@@ -136,6 +155,65 @@ def degraded_path_scenario(
             "input vector in the condition but more than t − d crashes: decisions "
             "by round ⌊(d + l − 1)/k⌋ + 1"
         ),
+    )
+
+
+def condition_family_scenario(
+    family: str,
+    n: int,
+    m: int,
+    t: int,
+    d: int,
+    ell: int,
+    k: int,
+    params: Mapping[str, Any] | None = None,
+    seed: int = 0,
+) -> Scenario:
+    """A fast-path scenario over an arbitrary registered condition family.
+
+    The condition is resolved through the :data:`repro.api.CONDITIONS`
+    registry exactly as an engine would, the input vector is drawn from
+    inside it with the generic sampler, and at most ``t − d`` round-1 crashes
+    are injected — the regime in which the paper predicts decisions by round
+    2 for any (x, l)-legal condition.
+    """
+    from ..api import AgreementSpec
+
+    spec = AgreementSpec(
+        n=n,
+        t=t,
+        k=k,
+        d=d,
+        ell=ell,
+        domain=m,
+        condition=family,
+        condition_params=dict(params or {}),
+    )
+    oracle = spec.condition_oracle()
+    vector = vector_in_condition(oracle, n, m, Random(seed))
+    crash_count = min(spec.x, t)
+    schedule = (
+        crashes_in_round_one(n, crash_count, delivered_prefix=n // 2)
+        if crash_count > 0
+        else no_crashes()
+    )
+    return Scenario(
+        name=f"family-{family}",
+        n=n,
+        t=t,
+        d=d,
+        ell=ell,
+        k=k,
+        condition=oracle,
+        input_vector=vector,
+        schedule=schedule,
+        predicted_round_bound=2,
+        description=(
+            f"input vector inside the {family!r} condition with at most t − d "
+            "round-1 crashes: decisions by round 2 when the family is (x, l)-legal"
+        ),
+        condition_name=family,
+        condition_params=spec.condition_params,
     )
 
 

@@ -18,7 +18,9 @@ from ..exceptions import InvalidParameterError
 __all__ = [
     "random_vector",
     "skewed_vector",
+    "vector_in_condition",
     "vector_in_max_condition",
+    "vector_outside_condition",
     "vector_outside_max_condition",
     "boundary_vector",
     "unanimous_vector",
@@ -131,6 +133,86 @@ def vector_outside_max_condition(
             "internal error: constructed vector unexpectedly belongs to the condition"
         )
     return vector
+
+
+def vector_in_condition(
+    oracle,
+    n: int,
+    m: int,
+    rng: Random | int | None = None,
+    attempts: int = 64,
+    mutations: int = 16,
+) -> InputVector:
+    """A vector belonging to an arbitrary condition *oracle*.
+
+    Works for any :class:`~repro.core.conditions.ConditionOracle` (the
+    registry families included): first a few uniform probes, then — because
+    strong conditions are vanishingly rare in the uniform distribution — a
+    deterministic witness sweep over the unanimous vectors, randomised by a
+    hill-holding walk (single-entry mutations that keep membership).  Raises
+    :class:`InvalidParameterError` when even the witnesses fail.
+    """
+    rng = _as_rng(rng)
+    witness: InputVector | None = None
+    for _ in range(attempts):
+        probe = random_vector(n, m, rng)
+        if oracle.contains(probe):
+            witness = probe
+            break
+    if witness is None:
+        for value in range(m, 0, -1):
+            candidate = unanimous_vector(n, value)
+            if oracle.contains(candidate):
+                witness = candidate
+                break
+    if witness is None:
+        enumerate_vectors = getattr(oracle, "enumerate_vectors", None)
+        if enumerate_vectors is not None:
+            witness = next(iter(enumerate_vectors()), None)
+    if witness is None:
+        raise InvalidParameterError(
+            f"could not find a vector inside {oracle.name}: the condition looks empty"
+        )
+    # Diversify the witness without leaving the condition.
+    entries = list(witness.entries)
+    for _ in range(mutations):
+        position = rng.randrange(n)
+        previous = entries[position]
+        entries[position] = rng.randint(1, m)
+        if not oracle.contains(InputVector(entries)):
+            entries[position] = previous
+    return InputVector(entries)
+
+
+def vector_outside_condition(
+    oracle,
+    n: int,
+    m: int,
+    rng: Random | int | None = None,
+    attempts: int = 256,
+) -> InputVector:
+    """A vector outside an arbitrary condition *oracle*.
+
+    Uniform probes first, then maximally spread deterministic candidates
+    (conditions reward concentration, so spread-out vectors are the natural
+    outsiders).  Raises :class:`InvalidParameterError` when nothing is found
+    — in particular for the trivial all-vectors family, which has no outside.
+    """
+    rng = _as_rng(rng)
+    for _ in range(attempts):
+        probe = random_vector(n, m, rng)
+        if not oracle.contains(probe):
+            return probe
+    for offset in range(m):
+        spread = InputVector(
+            [(offset + index) % m + 1 for index in range(n)]
+        )
+        if not oracle.contains(spread):
+            return spread
+    raise InvalidParameterError(
+        f"could not find a vector outside {oracle.name}: the condition appears "
+        "to contain every vector"
+    )
 
 
 def boundary_vector(n: int, m: int, x: int, ell: int) -> InputVector:

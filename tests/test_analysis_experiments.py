@@ -1,4 +1,4 @@
-"""Integration tests for the experiment harness (E1–E12).
+"""Integration tests for the experiment harness (E1–E13).
 
 Each experiment must run end to end, produce rows, and — crucially — every
 internal pass/fail check comparing the measurement to the paper's claim must
@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
     experiment_all_vectors_frontier,
     experiment_async_solvability,
     experiment_baseline_comparison,
+    experiment_condition_families,
     experiment_counting_theorem3,
     experiment_counting_theorem13,
     experiment_early_deciding,
@@ -30,13 +31,13 @@ from repro.analysis.experiments import (
 
 
 class TestRegistry:
-    def test_all_twelve_registered(self):
-        assert len(EXPERIMENTS) == 12
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+    def test_all_thirteen_registered(self):
+        assert len(EXPERIMENTS) == 13
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
 
     def test_list_experiments(self):
         listing = list_experiments()
-        assert len(listing) == 12
+        assert len(listing) == 13
         assert all(title for _, title in listing)
 
     def test_run_experiment_lookup(self):
@@ -108,3 +109,10 @@ class TestSimulationExperiments:
     def test_e12_async(self):
         output = experiment_async_solvability()
         assert output.all_checks_pass()
+
+    def test_e13_condition_families(self):
+        output = experiment_condition_families(runs_per_family=3)
+        assert output.all_checks_pass()
+        families = {row["family"] for row in output.rows}
+        assert {"max-legal", "min-legal", "frequency-gap", "hamming-ball", "all-vectors"} <= families
+        assert all(row["worst sync rounds"] <= 2 for row in output.rows)

@@ -55,7 +55,7 @@ class TestSpec:
 
     def test_condition_is_shared_across_equal_specs(self):
         other = AgreementSpec(n=8, t=4, k=2, d=2, ell=1, domain=10)
-        assert SPEC.condition() is other.condition()
+        assert SPEC.condition_oracle() is other.condition_oracle()
 
     def test_replace(self):
         derived = SPEC.replace(d=3)
@@ -377,7 +377,7 @@ class TestLegacyBridge:
         from repro import ConditionBasedKSetAgreement, SynchronousSystem
 
         algorithm = ConditionBasedKSetAgreement(
-            condition=SPEC.condition(), t=SPEC.t, d=SPEC.d, k=SPEC.k
+            condition=SPEC.condition_oracle(), t=SPEC.t, d=SPEC.d, k=SPEC.k
         )
         system = SynchronousSystem(n=SPEC.n, t=SPEC.t, algorithm=algorithm)
         old = system.run(VECTOR)

@@ -19,6 +19,12 @@ class TestParser:
         assert parser.parse_args(["lattice", "--n", "4"]).n == 4
         demo = parser.parse_args(["demo", "--n", "6", "--t", "3", "--crashes", "1"])
         assert demo.n == 6 and demo.t == 3 and demo.crashes == 1
+        conditions = parser.parse_args(
+            ["conditions", "check", "hamming-ball", "--param", "radius=1"]
+        )
+        assert conditions.action == "check"
+        assert conditions.family == "hamming-ball"
+        assert conditions.param == ["radius=1"]
 
 
 class TestCommands:
@@ -51,3 +57,50 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "decisions" in output
         assert "rounds executed" in output
+
+    def test_demo_with_condition_family(self, capsys):
+        assert main(
+            [
+                "demo", "--n", "6", "--t", "2", "--d", "1", "--k", "2",
+                "--condition", "hamming-ball", "--param", "radius=1",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ball(center=[10]*6, r=1, l=1)" in output
+        assert "in the condition : True" in output
+
+    def test_conditions_list(self, capsys):
+        assert main(["conditions"]) == 0
+        output = capsys.readouterr().out
+        for family in ("max-legal", "min-legal", "frequency-gap", "hamming-ball", "all-vectors"):
+            assert family in output
+
+    def test_conditions_describe(self, capsys):
+        assert main(
+            ["conditions", "describe", "min-legal", "--n", "5", "--t", "2", "--d", "1", "--m", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "min_1-legal(x=1, n=5, m=3)" in output
+        assert "size" in output and "member" in output
+
+    def test_conditions_check_legal_family(self, capsys):
+        assert main(
+            ["conditions", "check", "frequency-gap", "--n", "5", "--t", "2", "--d", "1", "--m", "3"]
+        ) == 0
+        assert "(1, 1)-legal" in capsys.readouterr().out
+
+    def test_conditions_check_illegal_family_fails(self, capsys):
+        # C_all with x = 1 >= l = 1 is not legal (Theorem 9): exit code 1.
+        assert main(
+            ["conditions", "check", "all-vectors", "--n", "4", "--t", "2", "--d", "1", "--m", "3"]
+        ) == 1
+        assert "not (1, 1)-legal" in capsys.readouterr().out
+
+    def test_conditions_action_requires_family(self, capsys):
+        assert main(["conditions", "describe"]) == 2
+        assert "needs a family name" in capsys.readouterr().err
+
+    def test_algorithms_lists_condition_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "conditions:" in output and "max-legal" in output

@@ -1,0 +1,221 @@
+"""Tests for the condition algebra: composition semantics, ``l`` propagation,
+loud failure modes and the ExplicitCondition query index/memo."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+
+from repro.core import (
+    BOTTOM,
+    ExplicitCondition,
+    InputVector,
+    MappingRecognizer,
+    MaxLegalCondition,
+    MinLegalCondition,
+    HammingBallCondition,
+    View,
+    difference,
+    intersection,
+    materialize,
+    restrict,
+    union,
+)
+from repro.core.algebra import UnionCondition, known_size, recognizer_of
+from repro.exceptions import (
+    DecodingError,
+    EmptyConditionError,
+    InvalidParameterError,
+    InvalidVectorError,
+    LegalityError,
+)
+
+N, M = 4, 3
+MAX = MaxLegalCondition(N, M, x=1, ell=1)
+MIN2 = MinLegalCondition(N, M, x=1, ell=2)
+
+
+def enumerate_domain():
+    return [InputVector(entries) for entries in product(range(1, M + 1), repeat=N)]
+
+
+class TestEllPropagation:
+    def test_union_takes_the_maximum(self):
+        assert union(MAX, MIN2).ell == 2
+        assert union(MIN2, MAX).ell == 2
+
+    def test_intersection_takes_the_minimum(self):
+        assert intersection(MAX, MIN2).ell == 1
+        assert intersection(MIN2, MAX).ell == 1
+
+    def test_difference_keeps_the_left_degree(self):
+        assert difference(MIN2, MAX).ell == 2
+        assert difference(MAX, MIN2.restrict(lambda v: v[0] == 1)).ell == 1
+
+    def test_restrict_preserves_the_base_degree(self):
+        assert restrict(MIN2, lambda v: 1 in v.val()).ell == 2
+
+
+class TestCompositionSemantics:
+    def test_intersection_membership_is_conjunction(self):
+        both = intersection(MAX, MIN2)
+        for vector in enumerate_domain():
+            assert both.contains(vector) == (MAX.contains(vector) and MIN2.contains(vector))
+
+    def test_difference_membership(self):
+        rest = difference(MIN2, MAX)
+        for vector in enumerate_domain():
+            assert rest.contains(vector) == (MIN2.contains(vector) and not MAX.contains(vector))
+
+    def test_union_membership_and_decode(self):
+        united = union(MAX, MIN2)
+        members_a = set(MAX.enumerate_vectors())
+        members_b = set(MIN2.enumerate_vectors())
+        for vector in enumerate_domain():
+            assert united.contains(vector) == (vector in members_a or vector in members_b)
+        # Decode: the per-side Definition 4 intersection.
+        view = View([1, 1, BOTTOM, 3])
+        expected = None
+        for member in members_a | members_b:
+            if not view.contained_in(member):
+                continue
+            sides = []
+            if member in members_a:
+                sides.append(MAX.decode(member))
+            if member in members_b:
+                sides.append(MIN2.decode(member))
+            decoded = sides[0] & sides[1] if len(sides) == 2 else sides[0]
+            expected = decoded if expected is None else expected & decoded
+        assert expected is not None
+        assert united.decode(view) == expected & view.val()
+
+    def test_union_decode_single_compatible_side(self):
+        left = ExplicitCondition([InputVector([1, 1, 1, 1])], MappingRecognizer(1, {InputVector([1, 1, 1, 1]): {1}}))
+        right = ExplicitCondition([InputVector([3, 3, 3, 3])], MappingRecognizer(1, {InputVector([3, 3, 3, 3]): {3}}))
+        united = union(left, right)
+        assert united.decode(View([3, 3, BOTTOM, BOTTOM])) == frozenset({3})
+        with pytest.raises(DecodingError):
+            united.decode(View([2, 2, BOTTOM, BOTTOM]))
+
+    def test_union_enumerates_without_duplicates(self):
+        united = union(MAX, MIN2)
+        vectors = list(united.enumerate_vectors())
+        assert len(vectors) == len(set(vectors))
+        assert set(vectors) == set(MAX.enumerate_vectors()) | set(MIN2.enumerate_vectors())
+
+    def test_materialized_results_are_indexed_explicit_conditions(self):
+        both = intersection(MAX, MIN2)
+        assert isinstance(both, ExplicitCondition)
+        view = View([3, 3, BOTTOM, BOTTOM])
+        assert both.is_compatible(view)
+        # 3 is the domain maximum: every completion decodes {3} under the
+        # inherited max_1 recognizer, so the Definition 4 intersection keeps it.
+        assert both.decode(view) == frozenset({3})
+
+    def test_explicit_restrict_accepts_algebra_options(self):
+        explicit = MAX.to_explicit()
+        checked = explicit.restrict(lambda vector: True, check_x=1)
+        assert set(checked.enumerate_vectors()) == set(explicit.enumerate_vectors())
+        with pytest.raises(LegalityError):
+            explicit.restrict(
+                lambda vector: vector.occurrences(vector.max_value()) == 2,
+                check_x=2,
+            )
+
+    def test_oracle_convenience_methods(self):
+        assert isinstance(MAX.union(MIN2), UnionCondition)
+        assert isinstance(MAX.intersection(MIN2), ExplicitCondition)
+        assert isinstance(MIN2.difference(MAX), ExplicitCondition)
+        # Two explicit operands merge eagerly and stay explicit.
+        merged = MAX.to_explicit().union(MIN2.to_explicit())
+        assert isinstance(merged, ExplicitCondition)
+        assert len(merged) == len(set(MAX.enumerate_vectors()) | set(MIN2.enumerate_vectors()))
+
+
+class TestFailureModes:
+    def test_mismatched_n_names_both_families(self):
+        other = MaxLegalCondition(5, M, x=1, ell=1)
+        for operation in (union, intersection, difference):
+            with pytest.raises(InvalidVectorError) as excinfo:
+                operation(MAX, other)
+            message = str(excinfo.value)
+            assert MAX.name in message and other.name in message
+
+    def test_empty_intersection_names_both_families(self):
+        low = HammingBallCondition(N, M, [1, 1, 1, 1], radius=1)
+        high = HammingBallCondition(N, M, [3, 3, 3, 3], radius=1)
+        with pytest.raises(EmptyConditionError) as excinfo:
+            intersection(low, high)
+        message = str(excinfo.value)
+        assert low.name in message and high.name in message
+
+    def test_empty_difference_and_restriction_raise(self):
+        with pytest.raises(EmptyConditionError):
+            difference(MAX, MAX)
+        with pytest.raises(EmptyConditionError):
+            restrict(MAX, lambda vector: False)
+
+    def test_explicit_union_mismatch_names_conditions(self):
+        left = ExplicitCondition([InputVector([1, 1])], name="left")
+        right = ExplicitCondition([InputVector([1, 1, 1])], name="right")
+        with pytest.raises(InvalidVectorError) as excinfo:
+            left.union(right)
+        assert "left" in str(excinfo.value) and "right" in str(excinfo.value)
+
+    def test_enumeration_budget_enforced(self):
+        big_a = MaxLegalCondition(8, 10, x=2, ell=1)
+        big_b = MinLegalCondition(8, 10, x=2, ell=1)
+        with pytest.raises(InvalidParameterError) as excinfo:
+            intersection(big_a, big_b, budget=100)
+        assert "budget" in str(excinfo.value)
+
+    def test_legality_guard_at_construction(self):
+        # The intersection of the two maximal conditions stays (1, 1)-legal...
+        checked = intersection(MAX, MinLegalCondition(N, M, x=1, ell=1), check_x=1)
+        assert checked.ell == 1
+        # ...but an adversarial restriction loses density and must be rejected.
+        with pytest.raises(LegalityError) as excinfo:
+            restrict(
+                MAX,
+                lambda vector: vector.occurrences(vector.max_value()) == 2,
+                check_x=2,
+            )
+        assert "not (2, 1)-legal" in str(excinfo.value)
+
+
+class TestExplicitConditionIndex:
+    def test_indexed_answers_match_naive_scan(self):
+        condition = MAX.to_explicit()
+        views = [
+            View([1, BOTTOM, BOTTOM, 3]),
+            View([3, 3, BOTTOM, BOTTOM]),
+            View([2, 2, 2, BOTTOM]),
+            View([BOTTOM, BOTTOM, BOTTOM, BOTTOM]),
+            View([1, 2, 3, 1]),
+        ]
+        for view in views:
+            naive = [v for v in condition.vectors if view.contained_in(v)]
+            assert set(condition.vectors_containing(view)) == set(naive)
+            assert condition.is_compatible(view) == bool(naive)
+
+    def test_memo_is_consistent_across_repeats(self):
+        condition = MAX.to_explicit()
+        view = View([3, BOTTOM, BOTTOM, 1])
+        first = condition.decode(view)
+        assert condition.decode(view) is first  # memo hit returns the cached set
+        assert condition.is_compatible(view) == condition.is_compatible(view)
+
+    def test_introspection_helpers(self):
+        assert known_size(MAX.to_explicit()) == len(MAX.to_explicit())
+        assert known_size(MAX) == MAX.size()
+        assert recognizer_of(MAX) is MAX.recognizer
+        bare = ExplicitCondition([InputVector([1, 1])])
+        assert recognizer_of(bare) is None
+
+    def test_materialize_requires_enumerable(self):
+        class Opaque(MaxLegalCondition):
+            enumerate_vectors = None
+
+        with pytest.raises(InvalidParameterError):
+            materialize(Opaque(3, 2, 1, 1))
