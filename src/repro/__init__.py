@@ -61,6 +61,7 @@ from .exceptions import (
     RegistryError,
     ReproError,
     SimulationError,
+    StoreError,
 )
 from .core import (
     BOTTOM,
@@ -114,6 +115,7 @@ __all__ = [
     "RegistryError",
     "ReproError",
     "SimulationError",
+    "StoreError",
     "SynchronousClass",
     "ValueDomain",
     "View",
@@ -156,6 +158,8 @@ _LAZY_EXPORTS = {
     "available_conditions": ("repro.api", "available_conditions"),
     "register_condition": ("repro.api", "register_condition"),
     "ConditionFamily": ("repro.api", "ConditionFamily"),
+    # Parallel execution + the persistent result store (PR 3).
+    "ResultStore": ("repro.store", "ResultStore"),
 }
 
 

@@ -16,9 +16,16 @@ Three levels of execution are offered:
 * :meth:`Engine.run` — one vector, one schedule, one :class:`RunResult`;
 * :meth:`Engine.run_batch` — many vectors in chunks, sharing memoized
   condition work (membership, the predicate ``P``, decoding) and validating
-  each distinct crash schedule once;
+  each distinct crash schedule once; :meth:`Engine.iter_batch` is the same
+  pipeline as a stream, yielding results as they complete;
 * :meth:`Engine.sweep` — a parameter grid over spec fields, one batch per
   cell, aggregated into :class:`SweepCell` records.
+
+Batches and sweeps scale across cores: ``workers > 1`` (per call or through
+:attr:`~repro.api.spec.RunConfig.workers`) shards chunks / cells over the
+process pool of :mod:`repro.parallel` with byte-identical results, and a
+:class:`repro.store.ResultStore` passed as ``store=...`` persists every
+result/cell as it is produced.
 
 Memoization
 -----------
@@ -39,7 +46,7 @@ import itertools
 import weakref
 from dataclasses import dataclass, field
 from random import Random
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 from ..algorithms.async_condition_set_agreement import run_async_condition_set_agreement
 from ..core.conditions import ConditionOracle
@@ -51,6 +58,9 @@ from ..sync.runtime import SynchronousSystem
 from .registry import ALGORITHMS, SCHEDULES, AlgorithmEntry
 from .result import RunResult
 from .spec import AgreementSpec, RunConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
+    from ..store import ResultStore
 
 __all__ = ["Engine", "MemoizedCondition", "CacheStats", "SweepCell"]
 
@@ -96,7 +106,21 @@ class MemoizedCondition(ConditionOracle):
     #: Introspection surface forwarded to the wrapped oracle (when it has it):
     #: enumeration, sizing and structural attributes that the samplers, the
     #: algebra and the experiment tables read off a condition.
-    _FORWARDED = ("enumerate_vectors", "size", "n", "domain", "recognizer")
+    _FORWARDED = (
+        "enumerate_vectors",
+        "size",
+        "n",
+        "domain",
+        "recognizer",
+        "x",
+        "vectors",
+        "vectors_containing",
+        "with_recognizer",
+        "is_subset_of",
+        "to_explicit",
+        "check_legality",
+        "operands",
+    )
 
     def __getattr__(self, name: str):
         if name in MemoizedCondition._FORWARDED:
@@ -109,6 +133,28 @@ class MemoizedCondition(ConditionOracle):
     def inner(self) -> ConditionOracle:
         """The wrapped oracle."""
         return self._inner
+
+    # -- condition algebra ----------------------------------------------------
+    # The algebra composes *real* oracles: operating on the memo proxy would
+    # hide the operand's structure (its recognizer, enumeration, eager-union
+    # fast paths) behind the cache.  Every operation therefore unwraps to the
+    # inner oracle on both sides, so ``engine.condition | other`` behaves
+    # exactly like composing the spec's condition directly.
+    @staticmethod
+    def _unwrap(oracle: ConditionOracle) -> ConditionOracle:
+        return oracle.inner if isinstance(oracle, MemoizedCondition) else oracle
+
+    def union(self, other: ConditionOracle) -> ConditionOracle:
+        return self._inner.union(MemoizedCondition._unwrap(other))
+
+    def intersection(self, other: ConditionOracle, **options) -> ConditionOracle:
+        return self._inner.intersection(MemoizedCondition._unwrap(other), **options)
+
+    def difference(self, other: ConditionOracle, **options) -> ConditionOracle:
+        return self._inner.difference(MemoizedCondition._unwrap(other), **options)
+
+    def restrict(self, predicate, **options) -> ConditionOracle:
+        return self._inner.restrict(predicate, **options)
 
     @property
     def ell(self) -> int:
@@ -338,6 +384,8 @@ class Engine:
         *,
         backend: str | None = None,
         chunk_size: int | None = None,
+        workers: int | None = None,
+        store: "ResultStore | None" = None,
     ) -> list[RunResult]:
         """Execute many vectors through one chunked, memoized pipeline.
 
@@ -350,22 +398,64 @@ class Engine:
         are left unconsumed where possible.  Run *i* derives its seed as
         ``config.seed + i``, so the whole batch is deterministic.
 
-        Both *vectors* and elementwise *schedules* may be lazy iterables
-        (e.g. generators): the batch consumes them ``chunk_size`` items at a
-        time, so only one chunk of inputs is ever materialized — streaming a
-        million-vector workload does not require holding it in memory.  Each
-        chunk is *staged* before it is executed: its vectors are normalised
-        and its schedules resolved and validated up front, so a malformed
-        input aborts the chunk before any of its runs burn compute.
+        *chunk_size* is the number of runs staged and executed together; it
+        must be an integer ``>= 1`` (``None`` means the config's default,
+        anything else raises :class:`InvalidParameterError`).  Both *vectors*
+        and elementwise *schedules* may be lazy iterables (e.g. generators):
+        the batch consumes them ``chunk_size`` items at a time, so only one
+        chunk of inputs is ever materialized — streaming a million-vector
+        workload does not require holding it in memory.  Each chunk is
+        *staged* before it is executed: its vectors are normalised and its
+        schedules resolved and validated up front, so a malformed input
+        aborts the chunk before any of its runs burn compute.
+
+        *workers* (default: the config's ``workers``) shards the staged
+        chunks across a process pool (:mod:`repro.parallel`) when greater
+        than 1.  Seed derivation is identical to the serial path, so the
+        returned list is the same whatever the worker count; the per-worker
+        condition-cache statistics are merged back into
+        :meth:`cache_stats`.  *store* appends every result to a
+        :class:`repro.store.ResultStore` as it is produced, so an
+        interrupted batch keeps what it already computed.
 
         Work shared across the batch: condition membership, the predicate
         ``P`` and view decoding (memoized for the engine's lifetime), and the
         validation of each distinct crash schedule (done once, not per run).
         """
-        backend = backend or self._config.backend
-        chunk = chunk_size or self._config.chunk_size
+        return list(
+            self.iter_batch(
+                vectors,
+                schedules,
+                backend=backend,
+                chunk_size=chunk_size,
+                workers=workers,
+                store=store,
+            )
+        )
 
-        exhausted = object()
+    def iter_batch(
+        self,
+        vectors: Iterable[InputVector | Sequence[Any]],
+        schedules: CrashSchedule | str | Iterable[CrashSchedule | str | None] | None = None,
+        *,
+        backend: str | None = None,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+        store: "ResultStore | None" = None,
+    ) -> Iterator[RunResult]:
+        """Stream the batch: yield each :class:`RunResult` as it completes.
+
+        Same arguments and same deterministic results as :meth:`run_batch`
+        (which is ``list(iter_batch(...))``), but results are yielded
+        incrementally — with ``workers > 1`` each parallel chunk is handed
+        over as soon as its worker finishes it, in batch order, while later
+        chunks are still executing.  Consuming lazily bounds memory on large
+        sweeps and lets callers aggregate or persist on the fly.
+        """
+        backend = backend or self._config.backend
+        chunk = self._resolve_chunk_size(chunk_size)
+        worker_count = self._resolve_workers(workers)
+
         if schedules is None or isinstance(schedules, (str, CrashSchedule)):
             pairing = itertools.repeat(schedules)
         else:
@@ -382,13 +472,46 @@ class Engine:
                     )
             pairing = iter(schedules)
 
-        vector_stream = iter(vectors)
-        results: list[RunResult] = []
+        if worker_count > 1 and self._entry is None:
+            raise InvalidParameterError(
+                "parallel batches need an engine built from a registry key; "
+                f"this engine wraps the pre-built instance "
+                f"{self._algorithm_name!r}, which workers cannot rebuild"
+            )
+
+        staged_chunks = self._staged_chunks(iter(vectors), pairing, chunk)
+        if worker_count == 1:
+            return self._iter_serial(staged_chunks, backend, store)
+        from ..parallel import execute_batch
+
+        return execute_batch(self, staged_chunks, backend, worker_count, store=store)
+
+    def _iter_serial(
+        self,
+        staged_chunks: Iterator[list[tuple[InputVector, CrashSchedule, int]]],
+        backend: str,
+        store: "ResultStore | None",
+    ) -> Iterator[RunResult]:
+        for staged in staged_chunks:
+            for normalised, crash_schedule, seed in staged:
+                result = self._execute(normalised, crash_schedule, seed, backend, None)
+                if store is not None:
+                    store.append(result)
+                yield result
+
+    def _staged_chunks(
+        self,
+        vector_stream: Iterator[InputVector | Sequence[Any]],
+        pairing: Iterator[CrashSchedule | str | None],
+        chunk: int,
+    ) -> Iterator[list[tuple[InputVector, CrashSchedule, int]]]:
+        """Normalise, pair, seed and validate the batch, one chunk at a time."""
+        exhausted = object()
         index = 0
         while True:
             chunk_vectors = list(itertools.islice(vector_stream, chunk))
             if not chunk_vectors:
-                break
+                return
             staged: list[tuple[InputVector, CrashSchedule, int]] = []
             for vector in chunk_vectors:
                 schedule = next(pairing, exhausted)
@@ -402,9 +525,40 @@ class Engine:
                 self._validate_once(crash_schedule)
                 staged.append((self._normalise_vector(vector), crash_schedule, seed))
                 index += 1
-            for normalised, crash_schedule, seed in staged:
-                results.append(self._execute(normalised, crash_schedule, seed, backend, None))
-        return results
+            yield staged
+
+    def _resolve_chunk_size(self, chunk_size: int | None) -> int:
+        if chunk_size is None:
+            return self._config.chunk_size
+        if not isinstance(chunk_size, int) or chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be an integer >= 1, got {chunk_size!r}"
+            )
+        return chunk_size
+
+    def _resolve_workers(self, workers: int | None) -> int:
+        if workers is None:
+            return self._config.workers
+        if not isinstance(workers, int) or workers < 1:
+            raise InvalidParameterError(
+                f"workers must be an integer >= 1, got {workers!r}"
+            )
+        return workers
+
+    def _absorb_worker_stats(self, deltas: Mapping[str, tuple[int, int]]) -> None:
+        """Merge per-worker cache hit/miss deltas into this engine's counters.
+
+        Parallel chunks answer their condition queries from per-worker
+        :class:`MemoizedCondition` caches; merging their counters keeps
+        :meth:`cache_stats` an account of the *whole* batch, serial or not.
+        """
+        if self._condition is None:
+            return
+        for query, (hits, misses) in deltas.items():
+            stats = self._condition.stats.get(query)
+            if stats is not None:
+                stats.hits += hits
+                stats.misses += misses
 
     # -- parameter sweeps ----------------------------------------------------
     def sweep(
@@ -415,6 +569,8 @@ class Engine:
         vectors: str = "in",
         schedule: CrashSchedule | str | None = None,
         backend: str | None = None,
+        workers: int | None = None,
+        store: "ResultStore | None" = None,
     ) -> list[SweepCell]:
         """Run a batch for every combination of the *grid* spec overrides.
 
@@ -430,15 +586,14 @@ class Engine:
         combinations — e.g. ``d > t`` or an unsatisfiable outside-vector
         request — yield a cell with :attr:`SweepCell.error` set instead of
         raising, so a grid may safely cross parameter ranges.
-        """
-        from ..workloads.vectors import (
-            random_vector,
-            vector_in_condition,
-            vector_in_max_condition,
-            vector_outside_condition,
-            vector_outside_max_condition,
-        )
 
+        *workers* (default: the config's ``workers``) shards whole cells
+        across a process pool when greater than 1; every cell derives its
+        vectors and seeds from the base seed plus its grid index, so the
+        returned cells are identical to the serial sweep.  *store* appends
+        every completed cell to a :class:`repro.store.ResultStore`, in cell
+        order, so an interrupted sweep keeps its finished cells.
+        """
         if self._entry is None:
             raise InvalidParameterError(
                 "sweep needs an engine built from a registry key; this engine "
@@ -449,6 +604,7 @@ class Engine:
             raise InvalidParameterError(
                 f"vectors must be 'in', 'out' or 'random', got {vectors!r}"
             )
+        worker_count = self._resolve_workers(workers)
         # A typo'd grid key is a programming error, not a bad cell: fail the
         # whole sweep up front rather than returning all-error cells.
         spec_fields = {f.name for f in dataclasses.fields(AgreementSpec)}
@@ -459,69 +615,108 @@ class Engine:
                 f"AgreementSpec fields are: {', '.join(sorted(spec_fields))}"
             )
         names = list(grid)
+        combos = [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(grid[name] for name in names))
+        ]
+        if worker_count > 1:
+            from ..parallel import execute_sweep
+
+            cell_stream = execute_sweep(
+                self, combos, runs_per_cell, vectors, schedule, backend, worker_count
+            )
+        else:
+            cell_stream = (
+                self._sweep_cell(overrides, index, runs_per_cell, vectors, schedule, backend)
+                for index, overrides in enumerate(combos)
+            )
+        # Persist each cell the moment it exists: an interrupted sweep must
+        # keep its finished cells, not lose them to a final bulk write.
         cells: list[SweepCell] = []
-        for index, combo in enumerate(itertools.product(*(grid[name] for name in names))):
-            overrides = dict(zip(names, combo))
-            try:
-                cell_overrides = dict(overrides)
-                # Condition parameters belong to one family: when the sweep
-                # moves the condition axis to a different family, the base
-                # spec's params (e.g. a hamming-ball radius) would be rejected
-                # by the new family's builder — reset them unless the grid
-                # sets them explicitly.
-                if (
-                    "condition" in cell_overrides
-                    and "condition_params" not in cell_overrides
-                    and cell_overrides["condition"] != self._spec.condition
-                ):
-                    cell_overrides["condition_params"] = ()
-                cell_spec = self._spec.replace(**cell_overrides)
-                engine = Engine(cell_spec, self._algorithm_name, self._config)
-                rng = Random(self._config.seed + index)
-                default_family = cell_spec.condition == "max-legal"
-                cell_oracle = None if default_family else cell_spec.condition_oracle()
-                batch: list[InputVector] = []
-                for _ in range(runs_per_cell):
-                    if vectors == "in":
-                        if default_family:
-                            batch.append(
-                                vector_in_max_condition(
-                                    cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
-                                )
-                            )
-                        else:
-                            batch.append(
-                                vector_in_condition(
-                                    cell_oracle, cell_spec.n, cell_spec.domain, rng
-                                )
-                            )
-                    elif vectors == "out":
-                        if default_family:
-                            batch.append(
-                                vector_outside_max_condition(
-                                    cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
-                                )
-                            )
-                        else:
-                            batch.append(
-                                vector_outside_condition(
-                                    cell_oracle, cell_spec.n, cell_spec.domain, rng
-                                )
-                            )
-                    else:
-                        batch.append(random_vector(cell_spec.n, cell_spec.domain, rng))
-                results = engine.run_batch(batch, schedule, backend=backend)
-            except ReproError as error:  # bad parameter combos report; bugs raise
-                cells.append(
-                    SweepCell(
-                        spec=self._safe_cell_spec(overrides),
-                        error=f"{type(error).__name__}: {error}",
-                        overrides=overrides,
-                    )
-                )
-                continue
-            cells.append(SweepCell(spec=cell_spec, results=results, overrides=overrides))
+        for cell in cell_stream:
+            if store is not None:
+                store.append_cell(cell)
+            cells.append(cell)
         return cells
+
+    def _sweep_cell(
+        self,
+        overrides: Mapping[str, Any],
+        index: int,
+        runs_per_cell: int,
+        vectors: str,
+        schedule: CrashSchedule | str | None,
+        backend: str | None,
+    ) -> SweepCell:
+        """Execute one sweep cell (shared by the serial and parallel paths)."""
+        from ..workloads.vectors import (
+            random_vector,
+            vector_in_condition,
+            vector_in_max_condition,
+            vector_outside_condition,
+            vector_outside_max_condition,
+        )
+
+        overrides = dict(overrides)
+        try:
+            cell_overrides = dict(overrides)
+            # Condition parameters belong to one family: when the sweep
+            # moves the condition axis to a different family, the base
+            # spec's params (e.g. a hamming-ball radius) would be rejected
+            # by the new family's builder — reset them unless the grid
+            # sets them explicitly.
+            if (
+                "condition" in cell_overrides
+                and "condition_params" not in cell_overrides
+                and cell_overrides["condition"] != self._spec.condition
+            ):
+                cell_overrides["condition_params"] = ()
+            cell_spec = self._spec.replace(**cell_overrides)
+            engine = Engine(cell_spec, self._algorithm_name, self._config)
+            rng = Random(self._config.seed + index)
+            default_family = cell_spec.condition == "max-legal"
+            cell_oracle = None if default_family else cell_spec.condition_oracle()
+            batch: list[InputVector] = []
+            for _ in range(runs_per_cell):
+                if vectors == "in":
+                    if default_family:
+                        batch.append(
+                            vector_in_max_condition(
+                                cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                            )
+                        )
+                    else:
+                        batch.append(
+                            vector_in_condition(
+                                cell_oracle, cell_spec.n, cell_spec.domain, rng
+                            )
+                        )
+                elif vectors == "out":
+                    if default_family:
+                        batch.append(
+                            vector_outside_max_condition(
+                                cell_spec.n, cell_spec.domain, cell_spec.x, cell_spec.ell, rng
+                            )
+                        )
+                    else:
+                        batch.append(
+                            vector_outside_condition(
+                                cell_oracle, cell_spec.n, cell_spec.domain, rng
+                            )
+                        )
+                else:
+                    batch.append(random_vector(cell_spec.n, cell_spec.domain, rng))
+            # Cells never fan out again themselves: sweep parallelism is at
+            # cell granularity, so a worker-side (or workers-configured) cell
+            # batch would otherwise open a nested process pool.
+            results = engine.run_batch(batch, schedule, backend=backend, workers=1)
+        except ReproError as error:  # bad parameter combos report; bugs raise
+            return SweepCell(
+                spec=self._safe_cell_spec(overrides),
+                error=f"{type(error).__name__}: {error}",
+                overrides=overrides,
+            )
+        return SweepCell(spec=cell_spec, results=results, overrides=overrides)
 
     def _safe_cell_spec(self, overrides: Mapping[str, Any]) -> AgreementSpec:
         """Best-effort spec for an errored cell (falls back to the base spec).

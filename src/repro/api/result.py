@@ -31,7 +31,7 @@ from typing import Any, Mapping
 from ..asynchronous.scheduler import AsyncExecutionResult
 from ..core.vectors import InputVector
 from ..exceptions import InvalidParameterError
-from ..sync.adversary import CrashSchedule
+from ..sync.adversary import CrashEvent, CrashSchedule
 from ..sync.runtime import ExecutionResult
 from ..sync.trace import ExecutionTrace
 
@@ -138,6 +138,88 @@ class RunResult:
             f"decided={self.distinct_decision_count()} value(s) "
             f"terminated={self.terminated}"
         )
+
+    # -- serialization -------------------------------------------------------
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-serializable record of the run (used by :mod:`repro.store`).
+
+        Everything the normalized record carries round-trips except the two
+        drill-down fields: :attr:`trace` and :attr:`raw` are backend-native
+        object graphs and are deliberately dropped — a reloaded result carries
+        ``trace=None`` and ``raw=None``.  Process ids are stored as JSON
+        object keys (strings) and restored to ``int`` by :meth:`from_record`;
+        proposal/decision values must themselves be JSON-serializable (the
+        library's standard domains are integers).
+        """
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "n": self.n,
+            "t": self.t,
+            "input_vector": list(self.input_vector.entries),
+            "decisions": {str(pid): value for pid, value in self.decisions.items()},
+            "decision_times": {
+                str(pid): time for pid, time in self.decision_times.items()
+            },
+            "crashed": sorted(self.crashed),
+            "duration": self.duration,
+            "time_unit": self.time_unit,
+            "terminated": self.terminated,
+            "in_condition": self.in_condition,
+            "condition": self.condition,
+            "schedule": (
+                None
+                if self.schedule is None
+                else [
+                    {
+                        "process_id": event.process_id,
+                        "round_number": event.round_number,
+                        "delivered_to": sorted(event.delivered_to),
+                    }
+                    for event in self.schedule
+                ]
+            ),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from a :meth:`to_record` dictionary (inverse map)."""
+        try:
+            schedule_events = record["schedule"]
+            schedule = (
+                None
+                if schedule_events is None
+                else CrashSchedule.from_events(
+                    CrashEvent(
+                        process_id=event["process_id"],
+                        round_number=event["round_number"],
+                        delivered_to=frozenset(event["delivered_to"]),
+                    )
+                    for event in schedule_events
+                )
+            )
+            return cls(
+                algorithm=record["algorithm"],
+                backend=record["backend"],
+                n=record["n"],
+                t=record["t"],
+                input_vector=InputVector(record["input_vector"]),
+                decisions={int(pid): value for pid, value in record["decisions"].items()},
+                decision_times={
+                    int(pid): time for pid, time in record["decision_times"].items()
+                },
+                crashed=frozenset(record["crashed"]),
+                duration=record["duration"],
+                time_unit=record["time_unit"],
+                terminated=record["terminated"],
+                in_condition=record["in_condition"],
+                condition=record["condition"],
+                schedule=schedule,
+            )
+        except (KeyError, TypeError, AttributeError) as error:
+            raise InvalidParameterError(
+                f"malformed RunResult record: {error!r}"
+            ) from error
 
     # -- normalization -------------------------------------------------------
     @classmethod

@@ -213,6 +213,12 @@ class RunConfig:
         Step budget per process on the asynchronous backend.
     chunk_size:
         Number of runs processed per chunk by :meth:`repro.api.Engine.run_batch`.
+    workers:
+        Default number of worker processes for batched execution.  ``1``
+        (the default) runs everything serially in the calling process;
+        ``w > 1`` shards batch chunks and sweep cells across a process pool
+        (see :mod:`repro.parallel`) with results identical to the serial
+        path — run *i* still derives its seed as ``seed + i``.
     """
 
     backend: str = "sync"
@@ -222,6 +228,7 @@ class RunConfig:
     record_trace: bool = False
     max_steps_per_process: int = 200
     chunk_size: int = 64
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -236,6 +243,8 @@ class RunConfig:
             )
         if self.chunk_size < 1:
             raise InvalidParameterError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise InvalidParameterError(f"workers must be an integer >= 1, got {self.workers!r}")
 
     def replace(self, **changes) -> "RunConfig":
         """A copy of the config with *changes* applied."""

@@ -16,10 +16,15 @@ demonstrations without writing any Python::
     repro demo --condition min-legal             # same spec, another family
     repro demo --algorithm floodmin --crashes 3  # the classical baseline
     repro demo --backend async                   # same spec, shared memory
+    repro demo --runs 16 --workers 4             # a parallel batch of runs
+    repro sweep --grid d=1,2,3 --grid k=1,2 --workers 4 --store cells.jsonl
 
 Every execution goes through the unified :class:`repro.api.Engine`, so the
 ``demo`` command accepts any registered algorithm on any backend it supports,
-over any registered condition family.
+over any registered condition family.  ``--workers`` shards batches and
+sweeps across a process pool (:mod:`repro.parallel`) with results identical
+to the serial path, and ``--store`` persists every result / sweep cell to an
+append-only JSONL file (:mod:`repro.store`) as it is produced.
 """
 
 from __future__ import annotations
@@ -166,7 +171,110 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="condition-family parameter, repeatable",
     )
+    demo_parser.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="number of batch runs (default 1: a single annotated execution)",
+    )
+    demo_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the batch (default 1: serial)",
+    )
+    demo_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append every result to this JSONL result store",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a parameter grid through the engine"
+    )
+    sweep_parser.add_argument("--n", type=int, default=8)
+    sweep_parser.add_argument("--t", type=int, default=4)
+    sweep_parser.add_argument("--d", type=int, default=2)
+    sweep_parser.add_argument("--ell", type=int, default=1)
+    sweep_parser.add_argument("--k", type=int, default=2)
+    sweep_parser.add_argument("--m", type=int, default=10, help="number of proposable values")
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="spec field and its candidate values, repeatable (e.g. --grid d=1,2,3)",
+    )
+    sweep_parser.add_argument(
+        "--runs-per-cell", type=int, default=4, help="batch size of each cell (default 4)"
+    )
+    sweep_parser.add_argument(
+        "--vectors",
+        default="in",
+        choices=("in", "out", "random"),
+        help="draw cell vectors inside/outside the condition or uniformly (default in)",
+    )
+    sweep_parser.add_argument(
+        "--algorithm",
+        default="condition-kset",
+        choices=available_algorithms(),
+        help="registry key of the algorithm to sweep (default condition-kset)",
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        default="sync",
+        choices=("sync", "async"),
+        help="execution backend (default sync)",
+    )
+    sweep_parser.add_argument(
+        "--schedule",
+        default="none",
+        help="adversary schedule name applied to every run (default none)",
+    )
+    sweep_parser.add_argument("--crashes", type=int, default=0, help="schedule crash budget")
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes sharding the sweep cells (default 1: serial)",
+    )
+    sweep_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append every completed cell to this JSONL result store",
+    )
     return parser
+
+
+def parse_grid(items: Sequence[str]) -> dict:
+    """Parse repeated ``--grid field=v1,v2,...`` options into a sweep grid.
+
+    Each value goes through :func:`ast.literal_eval` (``d=1,2,3`` gives
+    ints); what does not parse stays a string, which is how condition-family
+    names are swept (``condition=max-legal,min-legal``).
+    """
+    grid: dict = {}
+    for item in items:
+        field, separator, text = item.partition("=")
+        field = field.strip()
+        if not separator or not field or not text.strip():
+            raise InvalidParameterError(
+                f"grid axes are written field=v1,v2,..., got {item!r}"
+            )
+        values = []
+        for token in text.split(","):
+            token = token.strip()
+            try:
+                values.append(ast.literal_eval(token))
+            except (ValueError, SyntaxError):
+                values.append(token)
+        if field in grid:
+            raise InvalidParameterError(f"grid field {field!r} given twice")
+        grid[field] = tuple(values)
+    return grid
 
 
 def _command_list() -> int:
@@ -278,45 +386,54 @@ def _command_conditions(arguments) -> int:
     return 0 if report.legal else 1
 
 
-def _command_demo(
-    n: int,
-    t: int,
-    d: int,
-    ell: int,
-    k: int,
-    m: int,
-    crashes: int,
-    seed: int,
-    algorithm: str,
-    backend: str,
-    condition: str = "max-legal",
-    params: Sequence[str] = (),
-) -> int:
+def _demo_vector(engine: Engine, spec: AgreementSpec, seed: int):
+    if spec.condition != "max-legal" and engine.condition is not None:
+        return vector_in_condition(engine.condition, spec.n, spec.domain, Random(seed))
+    return vector_in_max_condition(spec.n, spec.domain, spec.x, spec.ell, Random(seed))
+
+
+def _command_demo(arguments) -> int:
+    n, m, crashes, seed = arguments.n, arguments.m, arguments.crashes, arguments.seed
+    algorithm, backend = arguments.algorithm, arguments.backend
+    runs, workers = arguments.runs, arguments.workers
     spec = AgreementSpec(
         n=n,
-        t=t,
-        k=k,
-        d=d,
-        ell=ell,
+        t=arguments.t,
+        k=arguments.k,
+        d=arguments.d,
+        ell=arguments.ell,
         domain=m,
-        condition=condition,
-        condition_params=parse_condition_params(params),
+        condition=arguments.condition,
+        condition_params=parse_condition_params(arguments.param),
     )
     config = RunConfig(
         backend=backend,
         schedule="round-one" if crashes > 0 else "none",
         crashes=crashes,
         seed=seed,
-        record_trace=backend == "sync",
+        record_trace=backend == "sync" and runs == 1,
+        workers=workers,
     )
     engine = Engine(spec, algorithm, config)
-    if condition == "max-legal":
-        vector = vector_in_max_condition(n, m, spec.x, ell, Random(seed))
-    elif engine.condition is not None:
-        vector = vector_in_condition(engine.condition, n, m, Random(seed))
+    store = None
+    if arguments.store is not None:
+        from .store import ResultStore
+
+        store = ResultStore(arguments.store)
+    if runs < 1:
+        raise InvalidParameterError(f"--runs must be >= 1, got {runs}")
+
+    if runs == 1 and workers == 1:
+        vector = _demo_vector(engine, spec, seed)
+        result = engine.run(vector)
+        if store is not None:
+            store.append(result)
+        results = [result]
     else:
-        vector = vector_in_max_condition(n, m, spec.x, ell, Random(seed))
-    result = engine.run(vector)
+        vectors = [_demo_vector(engine, spec, seed + index) for index in range(runs)]
+        results = engine.run_batch(vectors, store=store)
+        result, vector = results[0], results[0].input_vector
+
     membership = (
         "n/a (no condition)"
         if result.in_condition is None
@@ -335,6 +452,73 @@ def _command_demo(
         f"(degree = {engine.agreement_degree(backend)})"
     )
     print(f"summary          : {result.summary()}")
+    if len(results) > 1:
+        worst = max(r.duration for r in results)
+        decided = max(r.distinct_decision_count() for r in results)
+        print(
+            f"batch            : {len(results)} runs x {workers} worker(s), "
+            f"worst {result.time_unit}={worst}, max distinct decisions={decided}, "
+            f"all terminated={all(r.terminated for r in results)}"
+        )
+    if store is not None:
+        print(f"store            : {store.path} ({store.resume_index()} run records)")
+    return 0
+
+
+def _command_sweep(arguments) -> int:
+    grid = parse_grid(arguments.grid)
+    if not grid:
+        raise InvalidParameterError(
+            "sweep needs at least one --grid axis, e.g. --grid d=1,2,3"
+        )
+    spec = AgreementSpec(
+        n=arguments.n,
+        t=arguments.t,
+        k=arguments.k,
+        d=arguments.d,
+        ell=arguments.ell,
+        domain=arguments.m,
+    )
+    config = RunConfig(
+        backend=arguments.backend,
+        schedule=arguments.schedule,
+        crashes=arguments.crashes,
+        seed=arguments.seed,
+        workers=arguments.workers,
+    )
+    engine = Engine(spec, arguments.algorithm, config)
+    store = None
+    if arguments.store is not None:
+        from .store import ResultStore
+
+        store = ResultStore(arguments.store)
+    cells = engine.sweep(
+        grid,
+        arguments.runs_per_cell,
+        vectors=arguments.vectors,
+        store=store,
+    )
+    axes = " x ".join(f"{name}({len(values)})" for name, values in grid.items())
+    print(f"sweep            : {axes} = {len(cells)} cells, "
+          f"{arguments.runs_per_cell} runs/cell, {arguments.workers} worker(s)")
+    print(f"base spec        : {spec.describe()}  [{arguments.algorithm}, {arguments.backend}]")
+    errors = 0
+    for cell in cells:
+        label = ", ".join(f"{name}={value!r}" for name, value in cell.overrides.items())
+        if cell.error is not None:
+            errors += 1
+            print(f"  {label:<40} ERROR {cell.error}")
+        else:
+            print(
+                f"  {label:<40} runs={cell.runs} "
+                f"worst_duration={cell.worst_duration()} "
+                f"decided<= {cell.max_distinct_decisions()} "
+                f"in_condition={cell.in_condition_count()}/{cell.runs} "
+                f"terminated={cell.all_terminated()}"
+            )
+    print(f"cells with errors: {errors}/{len(cells)}")
+    if store is not None:
+        print(f"store            : {store.path} ({store.counts().get('cell', 0)} cell records)")
     return 0
 
 
@@ -354,20 +538,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if arguments.command == "conditions":
             return _command_conditions(arguments)
         if arguments.command == "demo":
-            return _command_demo(
-                arguments.n,
-                arguments.t,
-                arguments.d,
-                arguments.ell,
-                arguments.k,
-                arguments.m,
-                arguments.crashes,
-                arguments.seed,
-                arguments.algorithm,
-                arguments.backend,
-                arguments.condition,
-                arguments.param,
-            )
+            return _command_demo(arguments)
+        if arguments.command == "sweep":
+            return _command_sweep(arguments)
     except ReproError as error:
         # Bad parameter combinations (t >= n, k mismatching the algorithm,
         # backend unsupported, ...) are user errors, not crashes.

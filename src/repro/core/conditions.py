@@ -111,6 +111,21 @@ class ConditionOracle:
 
         return _restrict(self, predicate, **options)
 
+    def __or__(self, other: object) -> "ConditionOracle":
+        if not isinstance(other, ConditionOracle):
+            return NotImplemented
+        return self.union(other)
+
+    def __and__(self, other: object) -> "ConditionOracle":
+        if not isinstance(other, ConditionOracle):
+            return NotImplemented
+        return self.intersection(other)
+
+    def __sub__(self, other: object) -> "ConditionOracle":
+        if not isinstance(other, ConditionOracle):
+            return NotImplemented
+        return self.difference(other)
+
 
 class ExplicitCondition(ConditionOracle):
     """A finite condition given extensionally as a set of input vectors.

@@ -94,3 +94,12 @@ class ProtocolStateError(ReproError):
     For example calling a round handler on a process that already decided or
     crashed, or asking for a decision before termination.
     """
+
+
+class StoreError(ReproError):
+    """A persistent result store could not be read or written.
+
+    Raised by :class:`repro.store.ResultStore` on malformed JSONL records, on
+    records of an unknown kind, and on values that cannot be serialized to
+    JSON.
+    """

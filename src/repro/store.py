@@ -1,0 +1,257 @@
+"""A lightweight persistent result store (JSONL append + reload).
+
+Large batches and sweeps are long-running; losing everything to an
+interruption at cell 190 of 200 is the difference between "re-run the night"
+and "resume after breakfast".  :class:`ResultStore` persists execution
+records as **append-only JSON Lines**: one self-describing JSON object per
+line, written and flushed as each result completes, so a killed process
+loses at most the record being written.
+
+Two record kinds are stored:
+
+* ``"run"`` — one :class:`~repro.api.RunResult`, serialized through
+  :meth:`~repro.api.RunResult.to_record` (everything round-trips except the
+  backend-native ``raw``/``trace`` drill-down objects, which reload as
+  ``None``);
+* ``"cell"`` — one :class:`~repro.api.engine.SweepCell`: its grid overrides,
+  its derived spec (as field values) and its batch of run records.
+
+The engine integrates the store directly — ``run_batch(..., store=...)`` /
+``iter_batch(..., store=...)`` append every result as it is produced and
+``sweep(..., store=...)`` appends every completed cell — and the resume
+pattern is seed arithmetic, no bookkeeping: batch run *i* always executes
+with seed ``config.seed + i``, so :meth:`ResultStore.resume_index` (the
+number of persisted run records) is exactly how many input vectors to skip
+and how much to shift the base seed when continuing an interrupted batch::
+
+    store = ResultStore("batch.jsonl")
+    done = store.resume_index()
+    engine = Engine(spec, "condition-kset", config.replace(seed=config.seed + done))
+    engine.run_batch(vectors[done:], store=store)   # picks up where it stopped
+    results = store.load_results()                  # the full batch, merged
+
+Stores are plain files: aggregate them offline with ``load_results()`` /
+``load_cells()`` / ``iter_records()``, concatenate shards with ``cat``, and
+version them like any other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from .exceptions import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api.engine import SweepCell
+    from .api.result import RunResult
+
+__all__ = ["ResultStore", "RUN_KIND", "CELL_KIND"]
+
+#: Record kinds written by the store.
+RUN_KIND = "run"
+CELL_KIND = "cell"
+
+
+def _json_default(value: Any) -> Any:
+    """Serialize the non-JSON containers the records may carry."""
+    if isinstance(value, (frozenset, set)):
+        return sorted(value)
+    raise TypeError(
+        f"value {value!r} of type {type(value).__name__} is not JSON-serializable"
+    )
+
+
+class ResultStore:
+    """An append-only JSONL store of run results and sweep cells.
+
+    Parameters
+    ----------
+    path:
+        The backing file.  Parent directories are created on the first
+        write; a missing file reads as an empty store.
+
+    Notes
+    -----
+    The appending file handle is opened on the first write and kept open —
+    one open/close cycle per record would dominate a streamed million-run
+    batch.  Every record is still flushed as it is written, so the crash
+    guarantee is per record; :meth:`close` (or using the store as a context
+    manager) releases the handle, and a closed store transparently reopens
+    on the next write.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        self._handle = None
+
+    @property
+    def path(self) -> Path:
+        """The backing JSONL file."""
+        return self._path
+
+    def __repr__(self) -> str:
+        # No record count here: computing it re-reads the whole backing file
+        # (and would make repr itself fail on a corrupt store).
+        return f"ResultStore(path={str(self._path)!r})"
+
+    def __len__(self) -> int:
+        """Total number of records (of any kind) in the store."""
+        return sum(1 for _ in self.iter_records())
+
+    def close(self) -> None:
+        """Release the appending handle (reopened automatically on next write)."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writing -----------------------------------------------------------
+    def _append_handle(self):
+        if self._handle is None or self._handle.closed:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._path.open("a", encoding="utf-8")
+        return self._handle
+
+    def _write_lines(self, records: Iterable[dict[str, Any]]) -> int:
+        written = 0
+        try:
+            handle = self._append_handle()
+            for record in records:
+                handle.write(json.dumps(record, default=_json_default) + "\n")
+                handle.flush()
+                written += 1
+        except TypeError as error:
+            raise StoreError(f"cannot serialize record to JSON: {error}") from error
+        except OSError as error:
+            raise StoreError(f"cannot write to {self._path}: {error}") from error
+        return written
+
+    def append(self, result: "RunResult") -> None:
+        """Persist one run result (flushed immediately)."""
+        record = result.to_record()
+        record["kind"] = RUN_KIND
+        self._write_lines([record])
+
+    def extend(self, results: Iterable["RunResult"]) -> int:
+        """Persist many run results in one file session; returns the count."""
+
+        def records():
+            for result in results:
+                record = result.to_record()
+                record["kind"] = RUN_KIND
+                yield record
+
+        return self._write_lines(records())
+
+    def append_cell(self, cell: "SweepCell") -> None:
+        """Persist one sweep cell (its overrides, spec and run records)."""
+        import dataclasses
+
+        record = {
+            "kind": CELL_KIND,
+            "overrides": dict(cell.overrides),
+            "error": cell.error,
+            "spec": dataclasses.asdict(cell.spec),
+            "results": [result.to_record() for result in cell.results],
+        }
+        self._write_lines([record])
+
+    # -- reading -----------------------------------------------------------
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Yield every record of the file as a dict, in write order."""
+        if not self._path.exists():
+            return
+        try:
+            with self._path.open("r", encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError as error:
+                        raise StoreError(
+                            f"{self._path}:{line_number}: malformed JSON record "
+                            f"({error.msg})"
+                        ) from error
+                    if not isinstance(record, dict) or "kind" not in record:
+                        raise StoreError(
+                            f"{self._path}:{line_number}: record has no 'kind' field"
+                        )
+                    yield record
+        except OSError as error:
+            raise StoreError(f"cannot read {self._path}: {error}") from error
+
+    def counts(self) -> dict[str, int]:
+        """Number of records per kind, e.g. ``{"run": 120, "cell": 6}``."""
+        totals: dict[str, int] = {}
+        for record in self.iter_records():
+            totals[record["kind"]] = totals.get(record["kind"], 0) + 1
+        return totals
+
+    def load_results(self) -> list["RunResult"]:
+        """Rebuild every ``"run"`` record (top-level runs, not cell runs)."""
+        from .api.result import RunResult
+        from .exceptions import ReproError
+
+        results: list[RunResult] = []
+        for record in self.iter_records():
+            if record["kind"] != RUN_KIND:
+                continue
+            try:
+                results.append(RunResult.from_record(record))
+            except (KeyError, TypeError, ReproError) as error:
+                raise StoreError(f"malformed run record: {error!r}") from error
+        return results
+
+    def load_cells(self) -> list["SweepCell"]:
+        """Rebuild every ``"cell"`` record into a :class:`SweepCell`."""
+        from .api.engine import SweepCell
+        from .api.result import RunResult
+        from .api.spec import AgreementSpec
+        from .exceptions import ReproError
+
+        cells: list[SweepCell] = []
+        for record in self.iter_records():
+            if record["kind"] != CELL_KIND:
+                continue
+            try:
+                spec = AgreementSpec(**record["spec"])
+                cells.append(
+                    SweepCell(
+                        spec=spec,
+                        results=[
+                            RunResult.from_record(run) for run in record["results"]
+                        ],
+                        error=record["error"],
+                        overrides=dict(record["overrides"]),
+                    )
+                )
+            except (KeyError, TypeError, ReproError) as error:
+                raise StoreError(f"malformed cell record: {error!r}") from error
+        return cells
+
+    def resume_index(self) -> int:
+        """How many top-level runs are already persisted.
+
+        Combined with the engine's deterministic seed derivation
+        (run *i* uses ``config.seed + i``) this is everything a resume
+        needs: skip this many vectors and shift the base seed by it.
+        """
+        return sum(1 for record in self.iter_records() if record["kind"] == RUN_KIND)
+
+    def clear(self) -> None:
+        """Delete the backing file (the store then reads as empty)."""
+        self.close()
+        try:
+            self._path.unlink(missing_ok=True)
+        except OSError as error:
+            raise StoreError(f"cannot delete {self._path}: {error}") from error
