@@ -25,6 +25,8 @@ from __future__ import annotations
 import os
 import time
 
+import pytest
+
 from repro.api import AgreementSpec, Engine, RunConfig
 from repro.workloads import vector_in_max_condition
 
@@ -70,6 +72,7 @@ def _best_of(workers: int, vectors, schedules, rounds: int = TIMING_ROUNDS):
     return best, results
 
 
+@pytest.mark.bench
 def test_parallel_batch_matches_and_beats_serial(capsys):
     vectors, schedules = _workload()
 

@@ -160,6 +160,14 @@ _LAZY_EXPORTS = {
     "ConditionFamily": ("repro.api", "ConditionFamily"),
     # Parallel execution + the persistent result store (PR 3).
     "ResultStore": ("repro.store", "ResultStore"),
+    # Exhaustive adversary verification (PR 4): the model checker.
+    "CheckReport": ("repro.check", "CheckReport"),
+    "Counterexample": ("repro.check", "Counterexample"),
+    "differential_check": ("repro.check", "differential_check"),
+    "input_frontier": ("repro.check", "input_frontier"),
+    "register_mutants": ("repro.check", "register_mutants"),
+    "enumerate_schedules": ("repro.sync", "enumerate_schedules"),
+    "count_schedules": ("repro.sync", "count_schedules"),
 }
 
 

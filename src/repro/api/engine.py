@@ -19,7 +19,11 @@ Three levels of execution are offered:
   each distinct crash schedule once; :meth:`Engine.iter_batch` is the same
   pipeline as a stream, yielding results as they complete;
 * :meth:`Engine.sweep` — a parameter grid over spec fields, one batch per
-  cell, aggregated into :class:`SweepCell` records.
+  cell, aggregated into :class:`SweepCell` records;
+* :meth:`Engine.check` — exhaustive verification: the **complete** crash
+  schedule space × a structured input frontier, every execution evaluated by
+  the property oracles of :mod:`repro.check`, returning a
+  :class:`~repro.check.CheckReport` with replayable counterexamples.
 
 Batches and sweeps scale across cores: ``workers > 1`` (per call or through
 :attr:`~repro.api.spec.RunConfig.workers`) shards chunks / cells over the
@@ -559,6 +563,57 @@ class Engine:
             if stats is not None:
                 stats.hits += hits
                 stats.misses += misses
+
+    # -- exhaustive verification ---------------------------------------------
+    def check(
+        self,
+        *,
+        rounds: int | None = None,
+        vectors: Iterable[InputVector | Sequence[Any]] | None = None,
+        oracles: Iterable[str] | None = None,
+        workers: int | None = None,
+        store: "ResultStore | None" = None,
+        max_counterexamples: int = 25,
+        max_vectors: int = 12,
+        all_vectors_limit: int = 100,
+    ):
+        """Verify the bound algorithm over **every** crash schedule.
+
+        Model checking, not sampling: the complete Section 6.2 schedule space
+        for ``(spec.n, spec.t)`` with crash rounds in ``[1, rounds]``
+        (default: the unconditional deadline ``⌊t/k⌋ + 1`` — later crashes
+        are unobservable) is enumerated through
+        :func:`repro.sync.adversary.enumerate_schedules`, cross-validated
+        against the closed-form count on every run, and each schedule is
+        executed against a deterministic input frontier (*vectors* if given;
+        otherwise all ``m^n`` vectors when ``m^n <= all_vectors_limit``, else
+        a structured frontier of at most *max_vectors* boundary /
+        just-outside / sampled vectors).  Every execution is evaluated by the
+        property *oracles* (default: all registered oracles — validity,
+        agreement, termination, the Theorem 10 round bounds in/out of the
+        condition, the Section 8 early-deciding bound).
+
+        Returns a :class:`repro.check.CheckReport` with per-oracle tallies
+        and replayable :class:`~repro.check.Counterexample` records (at most
+        *max_counterexamples*; violations are always counted in full).
+        *workers* (default: the config's ``workers``) shards the schedule
+        space across the process pool with a **byte-identical** report;
+        *store* persists the report's counterexamples as JSONL records.
+        Synchronous backend only.
+        """
+        from ..check.checker import run_check
+
+        return run_check(
+            self,
+            rounds=rounds,
+            vectors=vectors,
+            oracles=oracles,
+            workers=workers,
+            store=store,
+            max_counterexamples=max_counterexamples,
+            max_vectors=max_vectors,
+            all_vectors_limit=all_vectors_limit,
+        )
 
     # -- parameter sweeps ----------------------------------------------------
     def sweep(

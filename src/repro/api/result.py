@@ -168,16 +168,7 @@ class RunResult:
             "in_condition": self.in_condition,
             "condition": self.condition,
             "schedule": (
-                None
-                if self.schedule is None
-                else [
-                    {
-                        "process_id": event.process_id,
-                        "round_number": event.round_number,
-                        "delivered_to": sorted(event.delivered_to),
-                    }
-                    for event in self.schedule
-                ]
+                None if self.schedule is None else self.schedule.to_records()
             ),
         }
 
@@ -189,14 +180,7 @@ class RunResult:
             schedule = (
                 None
                 if schedule_events is None
-                else CrashSchedule.from_events(
-                    CrashEvent(
-                        process_id=event["process_id"],
-                        round_number=event["round_number"],
-                        delivered_to=frozenset(event["delivered_to"]),
-                    )
-                    for event in schedule_events
-                )
+                else CrashSchedule.from_records(schedule_events)
             )
             return cls(
                 algorithm=record["algorithm"],

@@ -1,0 +1,67 @@
+"""``repro.check`` — exhaustive adversary verification (model checking).
+
+Where the test suite *samples* adversaries (random schedules, hand-written
+worst cases), this subsystem *enumerates* them: for small ``(n, t)`` the
+Section 6.2 failure model — which round each faulty process crashes in, and
+which prefix/subset of its messages is delivered — is a finite space, so the
+paper's properties can be verified over **every** execution instead of
+spot-checked.
+
+The pieces:
+
+* :func:`repro.sync.adversary.enumerate_schedules` /
+  :func:`~repro.sync.adversary.count_schedules` — the schedule space and its
+  closed-form size (cross-validated on every run);
+* :mod:`repro.check.oracles` — the property oracles (validity, agreement,
+  termination, the Theorem 10 round bounds in/out of the condition, the
+  Section 8 early-deciding bound), each with an applicability predicate;
+* :mod:`repro.check.frontier` — the deterministic input frontier: all
+  vectors when the domain is tiny, boundary / just-outside / sampled
+  vectors otherwise;
+* :mod:`repro.check.checker` — :func:`run_check` (the engine behind
+  :meth:`repro.api.Engine.check`, sharded over workers with byte-identical
+  reports) and :func:`differential_check` (two algorithms on identical
+  executions, decisions diffed);
+* :mod:`repro.check.mutants` — deliberately broken algorithms proving the
+  checker can fail.
+
+Entry points::
+
+    report = Engine(spec, "condition-kset").check(workers=4)
+    assert report.passed, report.render()
+
+    diff = differential_check(spec, "condition-kset", "mutant-hasty-floodmin")
+"""
+
+from .checker import (
+    CheckReport,
+    Counterexample,
+    DecisionDiff,
+    DifferentialReport,
+    OracleTally,
+    check_slice,
+    differential_check,
+    run_check,
+)
+from .frontier import input_frontier
+from .mutants import MUTANT_HASTY_FLOODMIN, HastyFloodMin, register_mutants
+from .oracles import ORACLES, CheckContext, PropertyOracle, default_oracle_names
+
+__all__ = [
+    "CheckContext",
+    "CheckReport",
+    "Counterexample",
+    "DecisionDiff",
+    "DifferentialReport",
+    "HastyFloodMin",
+    "MUTANT_HASTY_FLOODMIN",
+    "ORACLES",
+    "OracleTally",
+    "PropertyOracle",
+    "check_slice",
+    "default_oracle_names",
+    "differential_check",
+    "input_frontier",
+    "register_mutants",
+    "run_check",
+]

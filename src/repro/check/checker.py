@@ -1,0 +1,575 @@
+"""The model checker: every property oracle × every schedule × the frontier.
+
+:func:`run_check` is the engine behind :meth:`repro.api.Engine.check`.  For a
+bound ``(spec, algorithm)`` it enumerates the **complete** crash-schedule
+space of the Section 6.2 failure model (cross-validated against the
+closed-form :func:`~repro.sync.adversary.count_schedules` on every run),
+executes the structured input frontier under each schedule, and evaluates
+the registered property oracles on every execution.  The outcome is a
+:class:`CheckReport`: per-oracle checked/violation tallies plus replayable
+:class:`Counterexample` records for the first violations found.
+
+Determinism is the load-bearing property: schedules are enumerated in a
+fixed order, the frontier is a fixed tuple, and oracles run in registry
+order — so the report is a pure function of its inputs.  ``workers > 1``
+shards contiguous schedule-index ranges across the process pool of
+:mod:`repro.parallel` and merges the shard outcomes in index order, which
+makes the parallel report **byte-identical** to the serial one
+(``report.to_record()`` compares equal).
+
+:func:`differential_check` is the second mode: two registered algorithms run
+on identical ``(vector, schedule)`` executions and every decision diff is
+reported — the tool that catches a mutant (or a refactor) drifting from the
+reference algorithm even where no absolute property is violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from ..api.result import RunResult
+from ..api.spec import AgreementSpec, RunConfig
+from ..core.vectors import InputVector
+from ..exceptions import (
+    BackendError,
+    InvalidParameterError,
+    SimulationError,
+)
+from ..sync.adversary import CrashSchedule, count_schedules, enumerate_schedules
+from .frontier import DEFAULT_ALL_VECTORS_LIMIT, DEFAULT_MAX_VECTORS, input_frontier
+from .oracles import ORACLES, CheckContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.engine import Engine
+    from ..store import ResultStore
+
+__all__ = [
+    "OracleTally",
+    "Counterexample",
+    "CheckReport",
+    "DecisionDiff",
+    "DifferentialReport",
+    "run_check",
+    "check_slice",
+    "differential_check",
+]
+
+#: Default cap on the counterexamples a report materializes (violations are
+#: always *counted* in full; only the stored records are capped).
+DEFAULT_MAX_COUNTEREXAMPLES = 25
+
+
+@dataclass
+class OracleTally:
+    """How one oracle fared over the checked executions."""
+
+    oracle: str
+    #: Executions the oracle applied to (its applicability predicate held).
+    checked: int = 0
+    violations: int = 0
+
+    def to_record(self) -> dict[str, Any]:
+        return {"oracle": self.oracle, "checked": self.checked, "violations": self.violations}
+
+
+@dataclass
+class Counterexample:
+    """One replayable violation: the execution, the oracle, the evidence."""
+
+    oracle: str
+    algorithm: str
+    detail: str
+    spec: AgreementSpec
+    vector: InputVector
+    schedule: CrashSchedule
+    decisions: dict[int, Any] = field(default_factory=dict)
+    duration: int = 0
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-serializable record (used by :mod:`repro.store`)."""
+        import dataclasses
+
+        return {
+            "oracle": self.oracle,
+            "algorithm": self.algorithm,
+            "detail": self.detail,
+            "spec": dataclasses.asdict(self.spec),
+            "vector": list(self.vector.entries),
+            "schedule": self.schedule.to_records(),
+            "decisions": {str(pid): value for pid, value in self.decisions.items()},
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Counterexample":
+        """Rebuild a counterexample from a :meth:`to_record` dictionary."""
+        try:
+            return cls(
+                oracle=record["oracle"],
+                algorithm=record["algorithm"],
+                detail=record["detail"],
+                spec=AgreementSpec(**record["spec"]),
+                vector=InputVector(record["vector"]),
+                schedule=CrashSchedule.from_records(record["schedule"]),
+                decisions={int(pid): value for pid, value in record["decisions"].items()},
+                duration=record["duration"],
+            )
+        except (KeyError, TypeError, AttributeError) as error:
+            raise InvalidParameterError(
+                f"malformed Counterexample record: {error!r}"
+            ) from error
+
+    def replay(self, config: RunConfig | None = None) -> RunResult:
+        """Re-execute the counterexample through a fresh engine.
+
+        The algorithm is resolved by registry key, so replaying a mutant's
+        counterexample requires the mutant to be registered (see
+        :func:`repro.check.mutants.register_mutants`).
+        """
+        from ..api.engine import Engine
+
+        engine = Engine(self.spec, self.algorithm, config)
+        return engine.run(self.vector, self.schedule)
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        return (
+            f"[{self.oracle}] {self.algorithm} on {list(self.vector.entries)} "
+            f"under {list(self.schedule.canonical())}: {self.detail}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """The structured outcome of one exhaustive verification run."""
+
+    spec: AgreementSpec
+    algorithm: str
+    #: Crash rounds covered: every schedule crashes within ``[1, rounds]``.
+    rounds: int
+    #: Size of the enumerated schedule space (= ``count_schedules``).
+    schedule_count: int
+    #: Size of the input frontier.
+    vector_count: int
+    #: Executions performed (= ``schedule_count × vector_count``).
+    executions: int
+    #: Per-oracle tallies, in oracle registry order.
+    tallies: list[OracleTally] = field(default_factory=list)
+    #: The first violations found, in execution order (capped).
+    counterexamples: list[Counterexample] = field(default_factory=list)
+    #: ``True`` when more violations were counted than counterexamples kept.
+    truncated: bool = False
+
+    @property
+    def passed(self) -> bool:
+        """Did every applicable oracle hold on every execution?"""
+        return self.violation_count == 0
+
+    @property
+    def violation_count(self) -> int:
+        """Total violations counted across all oracles."""
+        return sum(tally.violations for tally in self.tallies)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def tally(self, oracle: str) -> OracleTally:
+        """The tally of one oracle by name."""
+        for entry in self.tallies:
+            if entry.oracle == oracle:
+                return entry
+        raise InvalidParameterError(
+            f"no tally for oracle {oracle!r}; checked oracles: "
+            f"{', '.join(t.oracle for t in self.tallies)}"
+        )
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-serializable record; byte-identical serial vs parallel."""
+        import dataclasses
+
+        return {
+            "spec": dataclasses.asdict(self.spec),
+            "algorithm": self.algorithm,
+            "rounds": self.rounds,
+            "schedule_count": self.schedule_count,
+            "vector_count": self.vector_count,
+            "executions": self.executions,
+            "tallies": [tally.to_record() for tally in self.tallies],
+            "counterexamples": [ce.to_record() for ce in self.counterexamples],
+            "truncated": self.truncated,
+        }
+
+    def render(self) -> str:
+        """Readable report for the CLI."""
+        lines = [
+            f"spec             : {self.spec.describe()}",
+            f"algorithm        : {self.algorithm}",
+            f"schedule space   : {self.schedule_count} schedules "
+            f"(crash rounds 1..{self.rounds}, closed form cross-validated)",
+            f"input frontier   : {self.vector_count} vectors",
+            f"executions       : {self.executions}",
+            "oracles          :",
+        ]
+        for tally in self.tallies:
+            verdict = (
+                "n/a    "
+                if tally.checked == 0
+                else ("PASS   " if tally.violations == 0 else "FAIL   ")
+            )
+            lines.append(
+                f"  {verdict}{tally.oracle:<26} checked={tally.checked} "
+                f"violations={tally.violations}"
+            )
+        if self.counterexamples:
+            shown = self.counterexamples[:5]
+            lines.append(f"counterexamples  : {self.violation_count} violation(s)")
+            lines.extend(f"  {ce.summary()}" for ce in shown)
+            remaining = self.violation_count - len(shown)
+            if remaining > 0:
+                lines.append(f"  ... and {remaining} more")
+        lines.append(f"verdict          : {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def check_slice(
+    engine: "Engine",
+    rounds: int,
+    start: int,
+    stop: int | None,
+    vectors: Sequence[InputVector],
+    oracle_names: Sequence[str],
+    max_counterexamples: int,
+) -> tuple[int, int, list[OracleTally], list[Counterexample]]:
+    """Check one contiguous slice ``[start, stop)`` of the schedule stream.
+
+    Shared verbatim by the serial path (one slice covering everything) and
+    the worker side of :func:`repro.parallel.execute_check` (one slice per
+    shard), which is what guarantees identical tallies and counterexample
+    order whatever the worker count.  Returns ``(enumerated, executions,
+    tallies, counterexamples)`` — *enumerated* counts the schedules actually
+    generated for the slice, so the caller can cross-validate the generator
+    against the closed form.  ``stop=None`` reads the stream to exhaustion:
+    the slice that covers the tail must use it so that a generator producing
+    *more* schedules than the closed form predicts is detected too (a capped
+    slice could only catch under-production).
+    """
+    spec = engine.spec
+    context = CheckContext.from_engine(engine)
+    oracles = [ORACLES[name] for name in oracle_names]
+    tallies = {name: OracleTally(name) for name in oracle_names}
+    counterexamples: list[Counterexample] = []
+    enumerated = 0
+    executions = 0
+    stream = islice(enumerate_schedules(spec.n, spec.t, rounds), start, stop)
+    for schedule in stream:
+        enumerated += 1
+        for vector in vectors:
+            result = engine._execute(vector, schedule, 0, "sync", None)
+            executions += 1
+            for oracle in oracles:
+                if not oracle.applies(context, result):
+                    continue
+                tally = tallies[oracle.name]
+                tally.checked += 1
+                detail = oracle.check(context, result)
+                if detail is None:
+                    continue
+                tally.violations += 1
+                if len(counterexamples) < max_counterexamples:
+                    counterexamples.append(
+                        Counterexample(
+                            oracle=oracle.name,
+                            algorithm=engine.algorithm_name,
+                            detail=detail,
+                            spec=spec,
+                            vector=vector,
+                            schedule=schedule,
+                            decisions=dict(result.decisions),
+                            duration=result.duration,
+                        )
+                    )
+    return enumerated, executions, [tallies[name] for name in oracle_names], counterexamples
+
+
+def _resolve_oracles(oracles: Iterable[str] | None) -> tuple[str, ...]:
+    if oracles is None:
+        return tuple(ORACLES)
+    names = tuple(oracles)
+    for name in names:
+        if name not in ORACLES:
+            raise InvalidParameterError(
+                f"unknown property oracle {name!r}; registered oracles: "
+                f"{', '.join(ORACLES)}"
+            )
+    return names
+
+
+def _resolve_frontier(
+    engine: "Engine",
+    vectors,
+    max_vectors: int,
+    all_vectors_limit: int,
+) -> tuple[InputVector, ...]:
+    if vectors is not None:
+        return tuple(engine._normalise_vector(vector) for vector in vectors)
+    return input_frontier(
+        engine.spec,
+        engine.condition,
+        max_vectors=max_vectors,
+        all_vectors_limit=all_vectors_limit,
+    )
+
+
+def _require_sync(engine: "Engine") -> None:
+    if "sync" not in engine.backends():
+        raise BackendError(
+            f"exhaustive checking drives the synchronous backend, which "
+            f"algorithm {engine.algorithm_name!r} does not support"
+        )
+
+
+def run_check(
+    engine: "Engine",
+    *,
+    rounds: int | None = None,
+    vectors: Iterable[InputVector | Sequence[Any]] | None = None,
+    oracles: Iterable[str] | None = None,
+    workers: int | None = None,
+    store: "ResultStore | None" = None,
+    max_counterexamples: int = DEFAULT_MAX_COUNTEREXAMPLES,
+    max_vectors: int = DEFAULT_MAX_VECTORS,
+    all_vectors_limit: int = DEFAULT_ALL_VECTORS_LIMIT,
+) -> CheckReport:
+    """Verify the engine's algorithm over the complete schedule space.
+
+    See :meth:`repro.api.Engine.check` for the parameter contract.
+    """
+    _require_sync(engine)
+    if rounds is None:
+        rounds = engine.spec.outside_condition_bound()
+    if rounds < 1:
+        raise InvalidParameterError(f"rounds must be >= 1, got {rounds}")
+    if max_counterexamples < 0:
+        raise InvalidParameterError(
+            f"max_counterexamples must be >= 0, got {max_counterexamples}"
+        )
+    worker_count = engine._resolve_workers(workers)
+    oracle_names = _resolve_oracles(oracles)
+    frontier = _resolve_frontier(engine, vectors, max_vectors, all_vectors_limit)
+    if not frontier:
+        raise InvalidParameterError("the input frontier is empty: nothing to check")
+    spec = engine.spec
+    expected = count_schedules(spec.n, spec.t, rounds)
+
+    if worker_count == 1:
+        enumerated, executions, tallies, counterexamples = check_slice(
+            engine, rounds, 0, None, frontier, oracle_names, max_counterexamples
+        )
+    else:
+        if engine._entry is None:
+            raise InvalidParameterError(
+                "parallel checking needs an engine built from a registry key; "
+                f"this engine wraps the pre-built instance "
+                f"{engine.algorithm_name!r}, which workers cannot rebuild"
+            )
+        from ..parallel import execute_check
+
+        enumerated = 0
+        executions = 0
+        tallies = [OracleTally(name) for name in oracle_names]
+        counterexamples = []
+        for outcome in execute_check(
+            engine, rounds, expected, frontier, oracle_names, worker_count,
+            max_counterexamples,
+        ):
+            enumerated += outcome.enumerated
+            executions += outcome.executions
+            for merged, partial in zip(tallies, outcome.tallies):
+                merged.checked += partial.checked
+                merged.violations += partial.violations
+            counterexamples.extend(outcome.counterexamples)
+        counterexamples = counterexamples[:max_counterexamples]
+
+    # The generator/closed-form cross-validation runs on *every* check: a
+    # drift between the two would silently void the "exhaustive" claim.
+    if enumerated != expected:
+        raise SimulationError(
+            f"schedule enumeration produced {enumerated} schedules but the "
+            f"closed form predicts {expected} for n={spec.n}, t={spec.t}, "
+            f"rounds={rounds}"
+        )
+
+    report = CheckReport(
+        spec=spec,
+        algorithm=engine.algorithm_name,
+        rounds=rounds,
+        schedule_count=expected,
+        vector_count=len(frontier),
+        executions=executions,
+        tallies=tallies,
+        counterexamples=counterexamples,
+        truncated=sum(t.violations for t in tallies) > len(counterexamples),
+    )
+    if store is not None:
+        for counterexample in report.counterexamples:
+            store.append_counterexample(counterexample)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Differential mode
+# ----------------------------------------------------------------------
+@dataclass
+class DecisionDiff:
+    """One execution on which the two algorithms decided differently."""
+
+    vector: InputVector
+    schedule: CrashSchedule
+    decisions_a: dict[int, Any] = field(default_factory=dict)
+    decisions_b: dict[int, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "vector": list(self.vector.entries),
+            "schedule": self.schedule.to_records(),
+            "decisions_a": {str(pid): value for pid, value in self.decisions_a.items()},
+            "decisions_b": {str(pid): value for pid, value in self.decisions_b.items()},
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of running two algorithms over identical executions."""
+
+    spec: AgreementSpec
+    algorithm_a: str
+    algorithm_b: str
+    rounds: int
+    schedule_count: int
+    vector_count: int
+    executions: int
+    mismatches: int = 0
+    examples: list[DecisionDiff] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def identical(self) -> bool:
+        """Did the two algorithms decide identically on every execution?"""
+        return self.mismatches == 0
+
+    def __bool__(self) -> bool:
+        return self.identical
+
+    def to_record(self) -> dict[str, Any]:
+        import dataclasses
+
+        return {
+            "spec": dataclasses.asdict(self.spec),
+            "algorithms": [self.algorithm_a, self.algorithm_b],
+            "rounds": self.rounds,
+            "schedule_count": self.schedule_count,
+            "vector_count": self.vector_count,
+            "executions": self.executions,
+            "mismatches": self.mismatches,
+            "examples": [diff.to_record() for diff in self.examples],
+            "truncated": self.truncated,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"spec             : {self.spec.describe()}",
+            f"algorithms       : {self.algorithm_a} vs {self.algorithm_b}",
+            f"schedule space   : {self.schedule_count} schedules "
+            f"(crash rounds 1..{self.rounds})",
+            f"input frontier   : {self.vector_count} vectors",
+            f"executions       : {self.executions}",
+            f"decision diffs   : {self.mismatches}",
+        ]
+        for diff in self.examples[:5]:
+            lines.append(
+                f"  {list(diff.vector.entries)} under "
+                f"{list(diff.schedule.canonical())}: "
+                f"{dict(sorted(diff.decisions_a.items()))} vs "
+                f"{dict(sorted(diff.decisions_b.items()))}"
+            )
+        lines.append(f"verdict          : {'IDENTICAL' if self.identical else 'DIVERGED'}")
+        return "\n".join(lines)
+
+
+def differential_check(
+    spec: AgreementSpec,
+    algorithm_a: str,
+    algorithm_b: str,
+    *,
+    config: RunConfig | None = None,
+    rounds: int | None = None,
+    vectors: Iterable[InputVector | Sequence[Any]] | None = None,
+    max_examples: int = DEFAULT_MAX_COUNTEREXAMPLES,
+    max_vectors: int = DEFAULT_MAX_VECTORS,
+    all_vectors_limit: int = DEFAULT_ALL_VECTORS_LIMIT,
+) -> DifferentialReport:
+    """Run two registered algorithms on identical executions, diff decisions.
+
+    Both algorithms see exactly the same ``(vector, schedule)`` pairs — the
+    complete schedule space crossed with one shared frontier (drawn from
+    *algorithm_a*'s condition when it has one, from *algorithm_b*'s
+    otherwise).  A mismatch is an execution whose decision mappings differ
+    (different deciders or different values).  This is the drift detector:
+    a mutant, a refactor or an alternative implementation is compared
+    execution-by-execution against the reference, even where both still
+    satisfy every absolute property.
+    """
+    from ..api.engine import Engine
+
+    engine_a = Engine(spec, algorithm_a, config)
+    engine_b = Engine(spec, algorithm_b, config)
+    _require_sync(engine_a)
+    _require_sync(engine_b)
+    if rounds is None:
+        rounds = spec.outside_condition_bound()
+    if rounds < 1:
+        raise InvalidParameterError(f"rounds must be >= 1, got {rounds}")
+    if vectors is not None:
+        frontier = tuple(engine_a._normalise_vector(vector) for vector in vectors)
+    else:
+        condition = engine_a.condition or engine_b.condition
+        frontier = input_frontier(
+            spec, condition, max_vectors=max_vectors, all_vectors_limit=all_vectors_limit
+        )
+    if not frontier:
+        raise InvalidParameterError("the input frontier is empty: nothing to check")
+
+    expected = count_schedules(spec.n, spec.t, rounds)
+    executions = 0
+    mismatches = 0
+    examples: list[DecisionDiff] = []
+    for schedule in enumerate_schedules(spec.n, spec.t, rounds):
+        for vector in frontier:
+            result_a = engine_a._execute(vector, schedule, 0, "sync", None)
+            result_b = engine_b._execute(vector, schedule, 0, "sync", None)
+            executions += 1
+            if result_a.decisions != result_b.decisions:
+                mismatches += 1
+                if len(examples) < max_examples:
+                    examples.append(
+                        DecisionDiff(
+                            vector=vector,
+                            schedule=schedule,
+                            decisions_a=dict(result_a.decisions),
+                            decisions_b=dict(result_b.decisions),
+                        )
+                    )
+    return DifferentialReport(
+        spec=spec,
+        algorithm_a=algorithm_a,
+        algorithm_b=algorithm_b,
+        rounds=rounds,
+        schedule_count=expected,
+        vector_count=len(frontier),
+        executions=executions,
+        mismatches=mismatches,
+        examples=examples,
+        truncated=mismatches > len(examples),
+    )

@@ -1,0 +1,122 @@
+"""The structured input frontier evaluated against every enumerated schedule.
+
+Exhaustive verification multiplies two spaces: crash schedules (fully
+enumerated by :func:`repro.sync.adversary.enumerate_schedules`) and input
+vectors.  The vector space ``{1..m}^n`` is also finite, so when it is tiny
+the frontier is simply **all of it** — the check is then exhaustive in both
+dimensions.  When the domain is too large to enumerate, the frontier falls
+back to the vectors the paper's proofs pivot on:
+
+* the unanimous extremes (every process proposes ``m``, every process
+  proposes ``1``);
+* the **in-condition boundary**: a vector whose top-``l`` values occupy
+  exactly ``x + 1`` entries — the minimum for membership in ``max_l``, so a
+  single missing entry matters to the decoder;
+* the matching **just-outside** vector: the same shape with one top entry
+  demoted, putting the occupancy at exactly ``x`` (outside by one);
+* sampled members and non-members of the actual condition oracle (any
+  registry family, through the generic samplers), drawn from fixed seeds;
+* a maximally spread vector (each entry distinct modulo the domain), the
+  natural outsider of concentration-rewarding conditions.
+
+Everything is deterministic — fixed seeds, stable order, duplicates removed —
+so two checks over the same spec always evaluate the identical frontier,
+which is what makes serial and sharded reports byte-identical.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from random import Random
+
+from ..core.vectors import InputVector
+from ..exceptions import InvalidParameterError, ReproError
+from ..workloads.vectors import (
+    boundary_vector,
+    unanimous_vector,
+    vector_in_condition,
+    vector_outside_condition,
+)
+
+__all__ = ["input_frontier"]
+
+#: Enumerate the whole vector space when it has at most this many vectors.
+DEFAULT_ALL_VECTORS_LIMIT = 100
+#: Structured-frontier size cap (the all-vectors mode ignores it: a tiny
+#: domain is checked completely).
+DEFAULT_MAX_VECTORS = 12
+
+
+def input_frontier(
+    spec,
+    condition=None,
+    *,
+    max_vectors: int = DEFAULT_MAX_VECTORS,
+    all_vectors_limit: int = DEFAULT_ALL_VECTORS_LIMIT,
+) -> tuple[InputVector, ...]:
+    """The deterministic input vectors checked against every schedule.
+
+    *condition* is the (possibly memoized) oracle of the spec's condition
+    family, or ``None`` for condition-free algorithms.  With ``m^n <=
+    all_vectors_limit`` every vector of the domain is returned (and
+    *max_vectors* is ignored — a tiny space is checked completely); otherwise
+    a structured frontier of at most *max_vectors* distinct vectors.
+    """
+    if max_vectors < 1:
+        raise InvalidParameterError(f"max_vectors must be >= 1, got {max_vectors}")
+    n, m = spec.n, spec.domain
+    if m**n <= all_vectors_limit:
+        return tuple(
+            InputVector(entries) for entries in product(range(1, m + 1), repeat=n)
+        )
+
+    frontier: list[InputVector] = []
+    seen: set[tuple] = set()
+
+    def add(vector: InputVector | None) -> None:
+        if vector is not None and vector.entries not in seen:
+            seen.add(vector.entries)
+            frontier.append(vector)
+
+    add(unanimous_vector(n, m))
+    add(unanimous_vector(n, 1))
+    if condition is not None:
+        add(_max_legal_boundary(spec, condition))
+        add(_max_legal_just_outside(spec, condition))
+        for seed in (11, 12):
+            add(_guarded(lambda: vector_in_condition(condition, n, m, Random(seed))))
+        add(_guarded(lambda: vector_outside_condition(condition, n, m, Random(13))))
+    else:
+        for seed in (11, 12, 13):
+            rng = Random(seed)
+            add(InputVector(rng.randint(1, m) for _ in range(n)))
+    add(InputVector((index % m) + 1 for index in range(n)))
+    return tuple(frontier[:max_vectors])
+
+
+def _guarded(build):
+    """Run a sampler, tolerating conditions with no member / no outsider."""
+    try:
+        return build()
+    except ReproError:
+        return None
+
+
+def _max_legal_boundary(spec, condition) -> InputVector | None:
+    """The density-boundary vector of the default ``max-legal`` family."""
+    if spec.condition != "max-legal":
+        return None
+    return _guarded(lambda: boundary_vector(spec.n, spec.domain, spec.x, spec.ell))
+
+
+def _max_legal_just_outside(spec, condition) -> InputVector | None:
+    """The boundary vector with one top entry demoted: outside by one."""
+    boundary = _max_legal_boundary(spec, condition)
+    if boundary is None or spec.ell > spec.x:
+        # l > x: the condition contains every vector, there is no outside.
+        return None
+    top = max(boundary.entries)
+    entries = list(boundary.entries)
+    entries[entries.index(top)] = 1
+    candidate = InputVector(entries)
+    return None if condition.contains(candidate) else candidate

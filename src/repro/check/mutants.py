@@ -1,0 +1,65 @@
+"""Deliberately broken algorithm mutants: the checker's self-test.
+
+A verifier that never fails is indistinguishable from a verifier that never
+looks.  This module provides algorithms with a *known, provable* defect so
+the test suite can demonstrate that the exhaustive checker actually catches
+violations — and produce replayable counterexample records exercising the
+whole counterexample pipeline (store round-trip, :meth:`Counterexample.replay`).
+
+:class:`HastyFloodMin` skips the last flood round: it decides at round
+``⌊t/k⌋`` instead of ``⌊t/k⌋ + 1``.  The classical lower bound says that one
+round is exactly what agreement costs, so for any ``t >= 1`` there is a
+crash schedule (a round-1 crash delivering to a strict prefix) under which
+two correct processes decide different values with ``k = 1`` — the
+exhaustive checker finds it within the first few hundred schedules.
+
+Mutants are **not** registered at import time: they must never show up in
+``repro algorithms`` or be runnable by accident.  Call
+:func:`register_mutants` (idempotent) to add them to the algorithm registry
+under their ``mutant-*`` keys for a checker self-test or a counterexample
+replay.
+"""
+
+from __future__ import annotations
+
+from ..algorithms.classic_kset import FloodMinKSetAgreement
+from ..api.registry import ALGORITHMS, AlgorithmEntry
+
+__all__ = ["HastyFloodMin", "MUTANT_HASTY_FLOODMIN", "register_mutants"]
+
+#: Registry key of the hasty FloodMin mutant (after :func:`register_mutants`).
+MUTANT_HASTY_FLOODMIN = "mutant-hasty-floodmin"
+
+
+class HastyFloodMin(FloodMinKSetAgreement):
+    """FloodMin that decides one round too early — deliberately broken.
+
+    With ``t >= k`` the mutant skips the round that the Chaudhuri–Herlihy–
+    Lynch–Tuttle bound proves necessary, so it violates k-agreement on some
+    schedule; with ``t < k`` (a decision round of 1) it also violates the
+    floor of one full exchange and breaks on round-1 prefix crashes.
+    """
+
+    @property
+    def name(self) -> str:
+        return f"hasty FloodMin {self.k}-set agreement (t={self.t}, skips one round)"
+
+    def decision_round(self) -> int:
+        return max(1, super().decision_round() - 1)
+
+
+def register_mutants() -> tuple[str, ...]:
+    """Register the mutant algorithms (idempotent); returns their keys."""
+    if MUTANT_HASTY_FLOODMIN not in ALGORITHMS:
+        ALGORITHMS.add(
+            MUTANT_HASTY_FLOODMIN,
+            AlgorithmEntry(
+                name=MUTANT_HASTY_FLOODMIN,
+                backends=frozenset({"sync"}),
+                build=lambda spec, condition: HastyFloodMin(t=spec.t, k=spec.k),
+                agreement_degree=lambda spec: spec.k,
+                summary="deliberately broken FloodMin (skips one round) — checker self-test",
+                uses_condition=False,
+            ),
+        )
+    return (MUTANT_HASTY_FLOODMIN,)

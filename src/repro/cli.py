@@ -18,13 +18,19 @@ demonstrations without writing any Python::
     repro demo --backend async                   # same spec, shared memory
     repro demo --runs 16 --workers 4             # a parallel batch of runs
     repro sweep --grid d=1,2,3 --grid k=1,2 --workers 4 --store cells.jsonl
+    repro check --n 4 --t 1 --d 1 --k 1          # verify EVERY crash schedule
+    repro check --n 4 --t 2 --k 2 --d 1 --workers 4 --store ce.jsonl
+    repro check --n 3 --t 1 --k 1 --d 1 --differential floodmin
 
 Every execution goes through the unified :class:`repro.api.Engine`, so the
 ``demo`` command accepts any registered algorithm on any backend it supports,
-over any registered condition family.  ``--workers`` shards batches and
-sweeps across a process pool (:mod:`repro.parallel`) with results identical
-to the serial path, and ``--store`` persists every result / sweep cell to an
-append-only JSONL file (:mod:`repro.store`) as it is produced.
+over any registered condition family.  ``--workers`` shards batches, sweeps
+and exhaustive checks across a process pool (:mod:`repro.parallel`) with
+results identical to the serial path, and ``--store`` persists every result /
+sweep cell / counterexample to an append-only JSONL file (:mod:`repro.store`)
+as it is produced.  ``check`` is the model checker of :mod:`repro.check`: it
+enumerates the complete Section 6.2 crash-schedule space and verifies the
+property oracles on every execution, exiting non-zero on any violation.
 """
 
 from __future__ import annotations
@@ -245,6 +251,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="append every completed cell to this JSONL result store",
+    )
+
+    check_parser = subparsers.add_parser(
+        "check", help="exhaustively verify an algorithm over every crash schedule"
+    )
+    check_parser.add_argument("--n", type=int, default=4)
+    check_parser.add_argument("--t", type=int, default=1)
+    check_parser.add_argument("--d", type=int, default=1)
+    check_parser.add_argument("--ell", type=int, default=1)
+    check_parser.add_argument("--k", type=int, default=1)
+    check_parser.add_argument("--m", type=int, default=3, help="number of proposable values")
+    check_parser.add_argument(
+        "--algorithm",
+        default="condition-kset",
+        choices=available_algorithms(),
+        help="registry key of the algorithm to verify (default condition-kset)",
+    )
+    check_parser.add_argument(
+        "--condition",
+        default="max-legal",
+        choices=available_conditions(),
+        help="condition family to verify against (default max-legal)",
+    )
+    check_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="condition-family parameter, repeatable",
+    )
+    check_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="deepest crash round enumerated (default: the ⌊t/k⌋+1 deadline)",
+    )
+    check_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes sharding the schedule space (default 1: serial)",
+    )
+    check_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append every counterexample to this JSONL result store",
+    )
+    check_parser.add_argument(
+        "--max-vectors",
+        type=int,
+        default=12,
+        help="structured-frontier size cap when the domain is too big to enumerate",
+    )
+    check_parser.add_argument(
+        "--all-vectors-limit",
+        type=int,
+        default=100,
+        help="enumerate the whole vector space when m^n is at most this (default 100)",
+    )
+    check_parser.add_argument(
+        "--max-counterexamples",
+        type=int,
+        default=25,
+        help="counterexample records kept in the report (violations always counted)",
+    )
+    check_parser.add_argument(
+        "--differential",
+        default=None,
+        metavar="ALGORITHM",
+        help="diff decisions against this second algorithm instead of checking oracles",
     )
     return parser
 
@@ -522,6 +599,70 @@ def _command_sweep(arguments) -> int:
     return 0
 
 
+def _command_check(arguments) -> int:
+    spec = AgreementSpec(
+        n=arguments.n,
+        t=arguments.t,
+        k=arguments.k,
+        d=arguments.d,
+        ell=arguments.ell,
+        domain=arguments.m,
+        condition=arguments.condition,
+        condition_params=parse_condition_params(arguments.param),
+    )
+
+    if arguments.differential is not None:
+        from .check import differential_check
+
+        if arguments.differential not in available_algorithms():
+            raise InvalidParameterError(
+                f"unknown algorithm {arguments.differential!r}; known: "
+                f"{', '.join(available_algorithms())}"
+            )
+        # differential_check runs serially and reports inline; refusing the
+        # flags beats silently dropping a requested store file or sharding.
+        if arguments.workers != 1:
+            raise InvalidParameterError(
+                "--differential does not support --workers (the diff runs serially)"
+            )
+        if arguments.store is not None:
+            raise InvalidParameterError(
+                "--differential does not support --store (diffs are reported inline)"
+            )
+        report = differential_check(
+            spec,
+            arguments.algorithm,
+            arguments.differential,
+            rounds=arguments.rounds,
+            max_examples=arguments.max_counterexamples,
+            max_vectors=arguments.max_vectors,
+            all_vectors_limit=arguments.all_vectors_limit,
+        )
+        print(report.render())
+        return 0 if report.identical else 1
+
+    store = None
+    if arguments.store is not None:
+        from .store import ResultStore
+
+        store = ResultStore(arguments.store)
+    engine = Engine(spec, arguments.algorithm, RunConfig(workers=arguments.workers))
+    report = engine.check(
+        rounds=arguments.rounds,
+        store=store,
+        max_counterexamples=arguments.max_counterexamples,
+        max_vectors=arguments.max_vectors,
+        all_vectors_limit=arguments.all_vectors_limit,
+    )
+    print(report.render())
+    if store is not None:
+        print(
+            f"store            : {store.path} "
+            f"({store.counts().get('counterexample', 0)} counterexample records)"
+        )
+    return 0 if report.passed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` / ``repro-setagreement`` executables."""
     parser = build_parser()
@@ -541,6 +682,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_demo(arguments)
         if arguments.command == "sweep":
             return _command_sweep(arguments)
+        if arguments.command == "check":
+            return _command_check(arguments)
     except ReproError as error:
         # Bad parameter combinations (t >= n, k mismatching the algorithm,
         # backend unsupported, ...) are user errors, not crashes.

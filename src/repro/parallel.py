@@ -3,13 +3,16 @@
 The synchronous simulator and the condition oracles are pure Python, so a
 single interpreter caps batch throughput at one core.  This module shards
 the work of :meth:`repro.api.Engine.run_batch` / :meth:`~repro.api.Engine.sweep`
-across a :class:`concurrent.futures.ProcessPoolExecutor`:
+/ :meth:`~repro.api.Engine.check` across a
+:class:`concurrent.futures.ProcessPoolExecutor`:
 
 * **Task envelopes are picklable by construction** — a batch chunk carries
   the frozen :class:`~repro.api.AgreementSpec`, the algorithm's registry key,
   the frozen :class:`~repro.api.RunConfig` and the staged
   ``(vector, schedule, seed)`` triples; a sweep cell carries the grid
-  overrides and its index.  Workers rebuild the engine from the envelope and
+  overrides and its index; a check shard carries a contiguous index range
+  into the deterministic schedule enumeration (the worker re-derives the
+  schedules).  Workers rebuild the engine from the envelope and
   cache it per ``(spec, algorithm, config)`` for the life of the worker
   process, so consecutive chunks of one batch share a warm
   :class:`~repro.api.engine.MemoizedCondition`.
@@ -44,9 +47,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us lazily)
     from .api.engine import Engine, SweepCell
     from .api.result import RunResult
     from .api.spec import AgreementSpec, RunConfig
+    from .check.checker import Counterexample, OracleTally
     from .store import ResultStore
 
-__all__ = ["BatchChunk", "CellTask", "ChunkOutcome", "execute_batch", "execute_sweep"]
+__all__ = [
+    "BatchChunk",
+    "CellTask",
+    "CheckShard",
+    "ChunkOutcome",
+    "CheckOutcome",
+    "execute_batch",
+    "execute_sweep",
+    "execute_check",
+]
 
 #: Outstanding tasks kept in flight per worker: enough to hide scheduling
 #: gaps without materializing a lazy workload.
@@ -89,6 +102,42 @@ class ChunkOutcome:
 
     index: int
     results: list["RunResult"]
+    stats: dict[str, tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class CheckShard:
+    """One contiguous slice of the exhaustive check's schedule space.
+
+    ``[start, stop)`` indexes into the deterministic stream of
+    :func:`repro.sync.adversary.enumerate_schedules`; the worker re-derives
+    the schedules from the indices (schedules are cheap to enumerate, so
+    shipping indices beats shipping thousands of pickled schedule objects).
+    """
+
+    spec: "AgreementSpec"
+    algorithm: str
+    config: "RunConfig"
+    rounds: int
+    start: int
+    #: ``None`` on the final shard: it reads the stream to exhaustion so an
+    #: over-producing generator is caught by the closed-form cross-check.
+    stop: int | None
+    vectors: tuple[InputVector, ...]
+    oracle_names: tuple[str, ...]
+    max_counterexamples: int
+    index: int
+
+
+@dataclass
+class CheckOutcome:
+    """What a worker sends back for one check shard."""
+
+    index: int
+    enumerated: int
+    executions: int
+    tallies: list["OracleTally"]
+    counterexamples: list["Counterexample"]
     stats: dict[str, tuple[int, int]]
 
 
@@ -142,6 +191,37 @@ def _execute_cell(task: CellTask) -> "SweepCell":
         task.schedule,
         task.backend,
     )
+
+
+def _execute_check_shard(shard: CheckShard) -> CheckOutcome:
+    """Check one schedule slice in the worker (same code path as serial)."""
+    from .api.registry import ALGORITHMS
+    from .check.checker import check_slice
+
+    if shard.algorithm not in ALGORITHMS:
+        # Mutants are registered at runtime (never at import), so a worker
+        # started via spawn/forkserver has a registry without them; re-run
+        # the idempotent registration instead of failing the shard.
+        from .check.mutants import register_mutants
+
+        register_mutants()
+    engine = _worker_engine(shard.spec, shard.algorithm, shard.config)
+    before = _stats_snapshot(engine)
+    enumerated, executions, tallies, counterexamples = check_slice(
+        engine,
+        shard.rounds,
+        shard.start,
+        shard.stop,
+        shard.vectors,
+        shard.oracle_names,
+        shard.max_counterexamples,
+    )
+    after = _stats_snapshot(engine)
+    deltas = {
+        name: (hits - before[name][0], misses - before[name][1])
+        for name, (hits, misses) in after.items()
+    }
+    return CheckOutcome(shard.index, enumerated, executions, tallies, counterexamples, deltas)
 
 
 # ----------------------------------------------------------------------
@@ -228,3 +308,50 @@ def execute_sweep(
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         yield from pool.map(_execute_cell, tasks)
+
+
+def execute_check(
+    engine: "Engine",
+    rounds: int,
+    schedule_count: int,
+    vectors: tuple[InputVector, ...],
+    oracle_names: tuple[str, ...],
+    workers: int,
+    max_counterexamples: int,
+) -> Iterator[CheckOutcome]:
+    """Shard the exhaustive check's schedule space across a process pool.
+
+    The space ``[0, schedule_count)`` is cut into
+    ``workers × SUBMIT_WINDOW_PER_WORKER`` contiguous index ranges and
+    outcomes are yielded **in shard order**, so the caller's merge reproduces
+    the serial evaluation order exactly — tallies sum, counterexample lists
+    concatenate into the serial list (each shard already caps at the global
+    maximum, and only the first shards' entries survive the final cap).
+    Worker cache-stat deltas are merged into *engine* before each outcome is
+    handed over.
+    """
+    shard_target = max(1, workers * SUBMIT_WINDOW_PER_WORKER)
+    shard_size = max(1, -(-schedule_count // shard_target))
+    starts = list(range(0, schedule_count, shard_size))
+    shards = [
+        CheckShard(
+            spec=engine.spec,
+            algorithm=engine.algorithm_name,
+            config=engine.config,
+            rounds=rounds,
+            start=start,
+            # The last shard reads to exhaustion (stop=None) so that a
+            # generator producing more schedules than the closed form
+            # predicts is detected, not silently truncated.
+            stop=None if start == starts[-1] else start + shard_size,
+            vectors=vectors,
+            oracle_names=oracle_names,
+            max_counterexamples=max_counterexamples,
+            index=index,
+        )
+        for index, start in enumerate(starts)
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for outcome in pool.map(_execute_check_shard, shards):
+            engine._absorb_worker_stats(outcome.stats)
+            yield outcome

@@ -7,14 +7,21 @@ records as **append-only JSON Lines**: one self-describing JSON object per
 line, written and flushed as each result completes, so a killed process
 loses at most the record being written.
 
-Two record kinds are stored:
+Three record kinds are stored:
 
 * ``"run"`` — one :class:`~repro.api.RunResult`, serialized through
   :meth:`~repro.api.RunResult.to_record` (everything round-trips except the
   backend-native ``raw``/``trace`` drill-down objects, which reload as
   ``None``);
 * ``"cell"`` — one :class:`~repro.api.engine.SweepCell`: its grid overrides,
-  its derived spec (as field values) and its batch of run records.
+  its derived spec (as field values) and its batch of run records;
+* ``"counterexample"`` — one :class:`~repro.check.Counterexample` found by
+  the exhaustive model checker (``Engine.check(..., store=...)``): the spec,
+  algorithm, input vector, crash schedule and violation detail, replayable
+  through :meth:`~repro.check.Counterexample.replay` after reloading with
+  :meth:`ResultStore.load_counterexamples`.  A counterexample record is the
+  durable form of a found bug — the workflow is to commit the store file as
+  a regression fixture and replay it in a test.
 
 The engine integrates the store directly — ``run_batch(..., store=...)`` /
 ``iter_batch(..., store=...)`` append every result as it is produced and
@@ -47,12 +54,14 @@ from .exceptions import StoreError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .api.engine import SweepCell
     from .api.result import RunResult
+    from .check.checker import Counterexample
 
-__all__ = ["ResultStore", "RUN_KIND", "CELL_KIND"]
+__all__ = ["ResultStore", "RUN_KIND", "CELL_KIND", "COUNTEREXAMPLE_KIND"]
 
 #: Record kinds written by the store.
 RUN_KIND = "run"
 CELL_KIND = "cell"
+COUNTEREXAMPLE_KIND = "counterexample"
 
 
 def _json_default(value: Any) -> Any:
@@ -164,6 +173,12 @@ class ResultStore:
         }
         self._write_lines([record])
 
+    def append_counterexample(self, counterexample: "Counterexample") -> None:
+        """Persist one model-checker counterexample (flushed immediately)."""
+        record = counterexample.to_record()
+        record["kind"] = COUNTEREXAMPLE_KIND
+        self._write_lines([record])
+
     # -- reading -----------------------------------------------------------
     def iter_records(self) -> Iterator[dict[str, Any]]:
         """Yield every record of the file as a dict, in write order."""
@@ -238,6 +253,21 @@ class ResultStore:
             except (KeyError, TypeError, ReproError) as error:
                 raise StoreError(f"malformed cell record: {error!r}") from error
         return cells
+
+    def load_counterexamples(self) -> list["Counterexample"]:
+        """Rebuild every ``"counterexample"`` record (replayable violations)."""
+        from .check.checker import Counterexample
+        from .exceptions import ReproError
+
+        counterexamples: list[Counterexample] = []
+        for record in self.iter_records():
+            if record["kind"] != COUNTEREXAMPLE_KIND:
+                continue
+            try:
+                counterexamples.append(Counterexample.from_record(record))
+            except (KeyError, TypeError, ReproError) as error:
+                raise StoreError(f"malformed counterexample record: {error!r}") from error
+        return counterexamples
 
     def resume_index(self) -> int:
         """How many top-level runs are already persisted.

@@ -8,7 +8,9 @@ optional execution traces.
 from .adversary import (
     CrashEvent,
     CrashSchedule,
+    count_schedules,
     crashes_in_round_one,
+    enumerate_schedules,
     initial_crashes,
     no_crashes,
     random_schedule,
@@ -29,7 +31,9 @@ __all__ = [
     "RoundRecord",
     "SynchronousAlgorithm",
     "SynchronousSystem",
+    "count_schedules",
     "crashes_in_round_one",
+    "enumerate_schedules",
     "initial_crashes",
     "no_crashes",
     "random_schedule",

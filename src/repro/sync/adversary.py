@@ -22,14 +22,23 @@ The module defines:
   :func:`initial_crashes`, :func:`random_schedule`,
   :func:`staggered_schedule` (the classical "one chain of crashes per round"
   worst case that forces flood algorithms to run long) and
-  :func:`crashes_in_round_one`.
+  :func:`crashes_in_round_one`;
+* the **exhaustive adversary**: :func:`enumerate_schedules` yields *every*
+  legal schedule of the failure model for a given ``(n, t, rounds)`` — the
+  space is finite because a crash is fully described by its round and its
+  delivery pattern (a prefix length in round 1, an arbitrary receiver subset
+  later) — and :func:`count_schedules` gives the closed-form size of that
+  space, used to cross-validate the generator.  The model checker of
+  :mod:`repro.check` is built on this pair.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field
 from random import Random
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..exceptions import AdversaryError
 
@@ -41,6 +50,8 @@ __all__ = [
     "crashes_in_round_one",
     "random_schedule",
     "staggered_schedule",
+    "enumerate_schedules",
+    "count_schedules",
 ]
 
 
@@ -141,6 +152,47 @@ class CrashSchedule:
     def round_one_crash_count(self) -> int:
         """Processes that crash during the first round (any delivery prefix)."""
         return sum(1 for event in self.events.values() if event.round_number == 1)
+
+    def canonical(self) -> tuple[tuple[int, int, tuple[int, ...]], ...]:
+        """A hashable canonical form of the schedule.
+
+        ``((process_id, round_number, sorted delivered), ...)`` sorted by
+        process id — two schedules are behaviourally identical exactly when
+        their canonical forms are equal, so the form keys deduplication sets
+        (the enumerator tests) and counterexample records.
+        """
+        return tuple(
+            (event.process_id, event.round_number, tuple(sorted(event.delivered_to)))
+            for event in sorted(self.events.values(), key=lambda e: e.process_id)
+        )
+
+    def to_records(self) -> list[dict]:
+        """JSON-serializable event records, sorted by process id.
+
+        The single source of truth for how schedules serialize: run results,
+        counterexamples and decision diffs all embed this shape and restore
+        it with :meth:`from_records`.
+        """
+        return [
+            {
+                "process_id": event.process_id,
+                "round_number": event.round_number,
+                "delivered_to": sorted(event.delivered_to),
+            }
+            for event in sorted(self.events.values(), key=lambda e: e.process_id)
+        ]
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping]) -> "CrashSchedule":
+        """Rebuild a schedule from :meth:`to_records` dictionaries (inverse map)."""
+        return cls.from_events(
+            CrashEvent(
+                process_id=record["process_id"],
+                round_number=record["round_number"],
+                delivered_to=frozenset(record["delivered_to"]),
+            )
+            for record in records
+        )
 
     def validate(self, n: int, t: int) -> None:
         """Check the schedule against the system parameters.
@@ -252,6 +304,99 @@ def random_schedule(
             delivered = frozenset(rng.sample(others, subset_size))
             events.append(CrashEvent(victim, round_number, delivered))
     return CrashSchedule.from_events(events)
+
+
+# ----------------------------------------------------------------------
+# The exhaustive adversary (Section 6.2 failure model, enumerated)
+# ----------------------------------------------------------------------
+def _event_choices(n: int, rounds: int) -> list[tuple[int, frozenset[int]]]:
+    """Every ``(round, delivered)`` pair one crash event may take.
+
+    Round 1 delivers a prefix (ordered send phase): ``n + 1`` choices.
+    Rounds ``2..rounds`` deliver an arbitrary receiver subset: ``2^n``
+    choices each, enumerated in bitmask order so the sequence is stable.
+    """
+    choices: list[tuple[int, frozenset[int]]] = [
+        (1, frozenset(range(prefix))) for prefix in range(n + 1)
+    ]
+    for round_number in range(2, rounds + 1):
+        for mask in range(1 << n):
+            choices.append(
+                (round_number, frozenset(pid for pid in range(n) if mask >> pid & 1))
+            )
+    return choices
+
+
+def count_schedules(n: int, t: int, rounds: int, max_crashes: int | None = None) -> int:
+    """Closed-form size of the schedule space enumerated by :func:`enumerate_schedules`.
+
+    One crash event has ``E = (n + 1) + (rounds − 1)·2^n`` choices (a prefix
+    length in round 1, a receiver subset in each later round), and a schedule
+    picks a faulty set of at most ``min(t, max_crashes)`` processes plus one
+    event per faulty process independently::
+
+        Σ_{f=0}^{budget}  C(n, f) · E^f
+
+    The formula is the generator's cross-validation: the enumerator tests
+    assert that the number of generated schedules matches it exactly, and
+    :func:`repro.check.run_check` re-asserts the match on every exhaustive
+    verification run.
+    """
+    _validate_enumeration_parameters(n, t, rounds)
+    budget = t if max_crashes is None else min(max_crashes, t)
+    if budget < 0:
+        raise AdversaryError(f"max_crashes must be >= 0, got {max_crashes}")
+    event_count = (n + 1) + (rounds - 1) * (1 << n)
+    return sum(math.comb(n, f) * event_count**f for f in range(budget + 1))
+
+
+def enumerate_schedules(
+    n: int, t: int, rounds: int, max_crashes: int | None = None
+) -> Iterator[CrashSchedule]:
+    """Yield **every** legal crash schedule of the ``(n, t, rounds)`` system.
+
+    The enumeration covers the full adversarial freedom of the Section 6.2
+    failure model, restricted to crashes in rounds ``1..rounds`` (a crash in
+    a later round is unobservable by an algorithm that has already halted):
+
+    * every faulty set of at most ``min(t, max_crashes)`` processes;
+    * for each faulty process, every crash round in ``[1, rounds]``;
+    * for a round-1 crash, every delivered prefix ``{0, ..., p−1}``,
+      ``0 <= p <= n`` (the ordered send phase);
+    * for a later-round crash, every delivered subset of the processes.
+
+    The order is deterministic: faulty sets by increasing size then
+    lexicographically, event assignments in the fixed order of
+    ``(round, delivery)`` choices — so slicing the stream by index shards the
+    space reproducibly (this is how ``workers=`` parallelises the model
+    checker).  Every yielded schedule satisfies
+    :meth:`CrashSchedule.validate`, and :func:`random_schedule` draws from
+    exactly this space.  The total number of schedules is
+    :func:`count_schedules`.
+    """
+    _validate_enumeration_parameters(n, t, rounds)
+    budget = t if max_crashes is None else min(max_crashes, t)
+    if budget < 0:
+        raise AdversaryError(f"max_crashes must be >= 0, got {max_crashes}")
+    choices = _event_choices(n, rounds)
+    for crash_count in range(budget + 1):
+        for victims in itertools.combinations(range(n), crash_count):
+            for assignment in itertools.product(choices, repeat=crash_count):
+                yield CrashSchedule(
+                    {
+                        victim: CrashEvent(victim, round_number, delivered)
+                        for victim, (round_number, delivered) in zip(victims, assignment)
+                    }
+                )
+
+
+def _validate_enumeration_parameters(n: int, t: int, rounds: int) -> None:
+    if n < 1:
+        raise AdversaryError(f"n must be >= 1, got {n}")
+    if not 0 <= t < n:
+        raise AdversaryError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+    if rounds < 1:
+        raise AdversaryError(f"rounds must be >= 1, got {rounds}")
 
 
 def staggered_schedule(

@@ -1,9 +1,11 @@
 """Workload generators: input vectors and end-to-end scenarios."""
 
 from .scenarios import (
+    ExhaustiveScenario,
     Scenario,
     condition_family_scenario,
     degraded_path_scenario,
+    exhaustive_scenario,
     fast_path_scenario,
     outside_condition_scenario,
 )
@@ -19,10 +21,12 @@ from .vectors import (
 )
 
 __all__ = [
+    "ExhaustiveScenario",
     "Scenario",
     "boundary_vector",
     "condition_family_scenario",
     "degraded_path_scenario",
+    "exhaustive_scenario",
     "fast_path_scenario",
     "outside_condition_scenario",
     "random_vector",

@@ -27,7 +27,9 @@ from .vectors import (
 
 __all__ = [
     "Scenario",
+    "ExhaustiveScenario",
     "condition_family_scenario",
+    "exhaustive_scenario",
     "fast_path_scenario",
     "degraded_path_scenario",
     "outside_condition_scenario",
@@ -250,6 +252,108 @@ def condition_family_scenario(
         ),
         condition_name=family,
         condition_params=spec.condition_params,
+    )
+
+
+@dataclass(frozen=True)
+class ExhaustiveScenario:
+    """Not one story but *all* of them: the complete execution space.
+
+    Where a :class:`Scenario` bundles one input vector with one schedule,
+    the exhaustive scenario bundles a deterministic input frontier with the
+    **entire** crash-schedule space of the ``(n, t)`` system — the limiting
+    case of scenario diversity.  :meth:`executions` streams every
+    ``(vector, schedule)`` pair and :meth:`check` verifies the property
+    oracles of :mod:`repro.check` over all of them.
+    """
+
+    name: str
+    spec: Any  # AgreementSpec (typed loosely to keep the lazy api import)
+    frontier: tuple[InputVector, ...]
+    rounds: int
+    schedule_count: int
+    description: str
+
+    @property
+    def execution_count(self) -> int:
+        """``schedule_count × len(frontier)``: executions one check performs."""
+        return self.schedule_count * len(self.frontier)
+
+    def executions(self):
+        """Yield every ``(vector, schedule)`` pair, schedules outermost."""
+        from ..sync.adversary import enumerate_schedules
+
+        for schedule in enumerate_schedules(self.spec.n, self.spec.t, self.rounds):
+            for vector in self.frontier:
+                yield vector, schedule
+
+    def check(
+        self,
+        algorithm: str = "condition-kset",
+        *,
+        workers: int = 1,
+        store=None,
+        oracles=None,
+        max_counterexamples: int = 25,
+    ):
+        """Run the exhaustive verification; returns a :class:`~repro.check.CheckReport`."""
+        from ..api import Engine, RunConfig
+
+        engine = Engine(self.spec, algorithm, RunConfig(workers=workers))
+        return engine.check(
+            rounds=self.rounds,
+            vectors=self.frontier,
+            oracles=oracles,
+            store=store,
+            max_counterexamples=max_counterexamples,
+        )
+
+
+def exhaustive_scenario(
+    n: int,
+    m: int,
+    t: int,
+    d: int,
+    ell: int,
+    k: int,
+    *,
+    rounds: int | None = None,
+    max_vectors: int = 12,
+    all_vectors_limit: int = 100,
+) -> ExhaustiveScenario:
+    """The exhaustive scenario: every legal crash schedule × the input frontier.
+
+    The frontier is the deterministic vector set of
+    :func:`repro.check.input_frontier` (all ``m^n`` vectors when the domain
+    is tiny, boundary/just-outside/sampled vectors otherwise); *rounds*
+    defaults to the unconditional decision deadline ``⌊t/k⌋ + 1``, beyond
+    which a crash cannot be observed.
+    """
+    from ..api import AgreementSpec
+    from ..check import input_frontier
+    from ..sync.adversary import count_schedules
+
+    spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=ell, domain=m)
+    if rounds is None:
+        rounds = spec.outside_condition_bound()
+    frontier = input_frontier(
+        spec,
+        spec.condition_oracle(),
+        max_vectors=max_vectors,
+        all_vectors_limit=all_vectors_limit,
+    )
+    schedule_count = count_schedules(n, t, rounds)
+    return ExhaustiveScenario(
+        name="exhaustive",
+        spec=spec,
+        frontier=frontier,
+        rounds=rounds,
+        schedule_count=schedule_count,
+        description=(
+            f"all {schedule_count} crash schedules (rounds 1..{rounds}) x "
+            f"{len(frontier)} frontier vectors: the complete execution space "
+            "of the Section 6.2 model"
+        ),
     )
 
 

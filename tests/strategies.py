@@ -1,0 +1,103 @@
+"""Shared Hypothesis strategies for the property-based test suite.
+
+Hoisted from ``test_property_core``, ``test_property_legality`` and
+``test_property_algorithms`` so every property file draws vectors, views,
+parameter tuples and crash schedules from the same definitions.
+
+* :data:`small_params` / :data:`legality_params` — ``(n, m, x, ell)``
+  tuples sized for the conditions framework and the (costlier) legality
+  checks respectively;
+* :func:`vectors` / :func:`views` — input vectors and partial views over
+  ``{1..m}``;
+* :func:`crash_schedules` — valid :class:`~repro.sync.adversary.CrashSchedule`
+  draws for an ``(n, t)`` system with crash rounds in ``[1, max_round]``:
+  round-1 crashes deliver a prefix (the ordered send phase), later crashes
+  an arbitrary receiver subset — by construction the same space that
+  :func:`repro.sync.adversary.enumerate_schedules` enumerates exhaustively.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector, View
+from repro.sync.adversary import CrashEvent, CrashSchedule
+
+__all__ = [
+    "small_params",
+    "legality_params",
+    "vectors",
+    "views",
+    "crash_schedules",
+]
+
+#: ``(n, m, x, ell)`` tuples for the conditions framework: n in 2..5,
+#: m in 2..3, 0 <= x < n, ell in 1..3.
+small_params = st.tuples(
+    st.integers(min_value=2, max_value=5),   # n
+    st.integers(min_value=2, max_value=3),   # m
+).flatmap(
+    lambda nm: st.tuples(
+        st.just(nm[0]),
+        st.just(nm[1]),
+        st.integers(min_value=0, max_value=nm[0] - 1),  # x
+        st.integers(min_value=1, max_value=3),           # ell
+    )
+)
+
+#: Smaller ``(n, m, x, ell)`` tuples for the exponential legality checks:
+#: n in 2..4, ell capped at 2.
+legality_params = st.tuples(
+    st.integers(min_value=2, max_value=4),  # n
+    st.integers(min_value=2, max_value=3),  # m
+).flatmap(
+    lambda nm: st.tuples(
+        st.just(nm[0]),
+        st.just(nm[1]),
+        st.integers(min_value=0, max_value=nm[0] - 1),  # x
+        st.integers(min_value=1, max_value=2),           # ell
+    )
+)
+
+
+def vectors(n: int, m: int):
+    """A strategy of input vectors of size *n* over ``{1..m}``."""
+    return st.lists(
+        st.integers(min_value=1, max_value=m), min_size=n, max_size=n
+    ).map(InputVector)
+
+
+def views(n: int, m: int, max_bottoms: int | None = None):
+    """A strategy of views of size *n* over ``{1..m}`` with a bounded number of ⊥."""
+    entry = st.one_of(st.just(BOTTOM), st.integers(min_value=1, max_value=m))
+    strategy = st.lists(entry, min_size=n, max_size=n).map(View)
+    if max_bottoms is not None:
+        strategy = strategy.filter(lambda v: v.bottom_count() <= max_bottoms)
+    return strategy
+
+
+@st.composite
+def crash_schedules(draw, n: int, t: int, max_round: int):
+    """Up to *t* crash events with valid round-1 prefixes and arbitrary later subsets."""
+    victim_count = draw(st.integers(min_value=0, max_value=t))
+    victims = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            unique=True,
+            min_size=victim_count,
+            max_size=victim_count,
+        )
+    )
+    events = []
+    for victim in victims:
+        round_number = draw(st.integers(min_value=1, max_value=max_round))
+        if round_number == 1:
+            prefix = draw(st.integers(min_value=0, max_value=n))
+            events.append(CrashEvent.round_one_prefix(victim, prefix))
+        else:
+            receivers = draw(
+                st.frozensets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+            )
+            events.append(CrashEvent(victim, round_number, receivers))
+    return CrashSchedule.from_events(events)

@@ -1,4 +1,4 @@
-"""Integration tests for the experiment harness (E1–E13).
+"""Integration tests for the experiment harness (E1–E14).
 
 Each experiment must run end to end, produce rows, and — crucially — every
 internal pass/fail check comparing the measurement to the paper's claim must
@@ -20,6 +20,7 @@ from repro.analysis.experiments import (
     experiment_counting_theorem3,
     experiment_counting_theorem13,
     experiment_early_deciding,
+    experiment_exhaustive_check,
     experiment_lattice_figure1,
     experiment_rounds_in_condition,
     experiment_rounds_outside_condition,
@@ -31,13 +32,13 @@ from repro.analysis.experiments import (
 
 
 class TestRegistry:
-    def test_all_thirteen_registered(self):
-        assert len(EXPERIMENTS) == 13
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+    def test_all_fourteen_registered(self):
+        assert len(EXPERIMENTS) == 14
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
 
     def test_list_experiments(self):
         listing = list_experiments()
-        assert len(listing) == 13
+        assert len(listing) == 14
         assert all(title for _, title in listing)
 
     def test_run_experiment_lookup(self):
@@ -116,3 +117,10 @@ class TestSimulationExperiments:
         families = {row["family"] for row in output.rows}
         assert {"max-legal", "min-legal", "frequency-gap", "hamming-ball", "all-vectors"} <= families
         assert all(row["worst sync rounds"] <= 2 for row in output.rows)
+
+    def test_e14_exhaustive_check(self):
+        output = experiment_exhaustive_check()
+        assert output.all_checks_pass()
+        assert all(row["violations"] == 0 for row in output.rows)
+        # The grid must include a cell whose schedule space is in the thousands.
+        assert max(row["schedules"] for row in output.rows) >= 2731

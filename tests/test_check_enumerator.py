@@ -1,0 +1,155 @@
+"""The schedule enumerator: generated = counted, unique, valid, complete.
+
+Three cross-validations back the "exhaustive" claim of :mod:`repro.check`:
+
+* the generator produces exactly :func:`count_schedules` schedules on every
+  ``n <= 4, t <= 2`` system (the closed form and the enumeration are
+  independent derivations of the same space);
+* every generated schedule is unique (by canonical form) and passes
+  :meth:`CrashSchedule.validate`;
+* :func:`random_schedule` — the sampling adversary the rest of the suite
+  relies on — only ever produces schedules that lie inside the enumerated
+  space (a Hypothesis property, plus an exact set-membership check on a
+  system small enough to materialize).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import crash_schedules
+
+from repro.exceptions import AdversaryError
+from repro.sync.adversary import (
+    CrashEvent,
+    CrashSchedule,
+    count_schedules,
+    enumerate_schedules,
+    random_schedule,
+)
+
+#: Every (n, t) system the exhaustive tests cover, with the round depths
+#: used by the checker (the unconditional deadline is 2 or 3 there).
+SYSTEMS = [
+    (n, t, rounds)
+    for n in (2, 3, 4)
+    for t in range(0, min(2, n - 1) + 1)
+    for rounds in (1, 2)
+] + [(3, 1, 3), (3, 2, 3), (4, 1, 3)]
+
+
+class TestCountCrossValidation:
+    @pytest.mark.parametrize("n,t,rounds", SYSTEMS)
+    def test_generated_count_matches_closed_form(self, n, t, rounds):
+        generated = sum(1 for _ in enumerate_schedules(n, t, rounds))
+        assert generated == count_schedules(n, t, rounds)
+
+    @pytest.mark.parametrize("n,t,rounds", SYSTEMS)
+    def test_schedules_unique_and_valid(self, n, t, rounds):
+        seen = set()
+        for schedule in enumerate_schedules(n, t, rounds):
+            key = schedule.canonical()
+            assert key not in seen, f"duplicate schedule {key}"
+            seen.add(key)
+            schedule.validate(n, t)  # raises on an illegal schedule
+            assert all(event.round_number <= rounds for event in schedule)
+        assert len(seen) == count_schedules(n, t, rounds)
+
+    def test_max_crashes_restricts_the_space(self):
+        # Budget 0 leaves only the failure-free schedule; budget t is the default.
+        assert count_schedules(4, 2, 2, max_crashes=0) == 1
+        assert count_schedules(4, 2, 2, max_crashes=2) == count_schedules(4, 2, 2)
+        only = list(enumerate_schedules(4, 2, 2, max_crashes=0))
+        assert len(only) == 1 and only[0].crash_count() == 0
+        partial = sum(1 for _ in enumerate_schedules(4, 2, 2, max_crashes=1))
+        assert partial == count_schedules(4, 2, 2, max_crashes=1) < count_schedules(4, 2, 2)
+
+    def test_closed_form_small_cases_by_hand(self):
+        # n=2, t=1, rounds=1: faulty set {} or {p}; a round-1 event is one of
+        # the 3 prefixes — 1 + 2*3 = 7.
+        assert count_schedules(2, 1, 1) == 7
+        # n=3, t=1, rounds=2: events = 4 prefixes + 8 subsets = 12; 1 + 3*12 = 37.
+        assert count_schedules(3, 1, 2) == 37
+
+    def test_parameter_validation(self):
+        with pytest.raises(AdversaryError):
+            count_schedules(0, 0, 1)
+        with pytest.raises(AdversaryError):
+            count_schedules(3, 3, 1)  # t must stay < n
+        with pytest.raises(AdversaryError):
+            count_schedules(3, 1, 0)
+        with pytest.raises(AdversaryError):
+            list(enumerate_schedules(3, 1, 1, max_crashes=-1))
+
+
+class TestRandomScheduleInsideTheSpace:
+    #: The enumerated space of the (3, 1, rounds=2) system, materialized once.
+    SPACE = frozenset(s.canonical() for s in enumerate_schedules(3, 1, 2))
+
+    @given(
+        crash_count=st.integers(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_membership_on_a_tiny_system(self, crash_count, seed):
+        schedule = random_schedule(3, 1, crash_count, max_round=2, rng=seed)
+        assert schedule.canonical() in self.SPACE
+
+    @given(
+        params=st.tuples(
+            st.integers(min_value=2, max_value=4),  # n
+            st.integers(min_value=1, max_value=3),  # rounds
+        ).flatmap(
+            lambda nr: st.tuples(
+                st.just(nr[0]),
+                st.integers(min_value=0, max_value=min(2, nr[0] - 1)),  # t
+                st.just(nr[1]),
+            )
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_structural_membership(self, params, seed):
+        """Every random schedule satisfies the structural constraints the
+        enumerator generates from: <= t crashes, rounds within [1, max_round],
+        round-1 prefixes, receivers within the system."""
+        n, t, rounds = params
+        schedule = random_schedule(n, t, t, max_round=rounds, rng=seed)
+        schedule.validate(n, t)
+        assert schedule.crash_count() <= t
+        assert all(1 <= event.round_number <= rounds for event in schedule)
+
+    @given(
+        data=st.integers(min_value=2, max_value=4).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                crash_schedules(n, min(2, n - 1), 2),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_strategy_draws_inside_the_space(self, data):
+        """The shared crash_schedules() strategy also lives in the enumerated
+        space (checked structurally for n=4, exactly for smaller systems)."""
+        n, schedule = data
+        t = min(2, n - 1)
+        schedule.validate(n, t)
+        assert all(1 <= event.round_number <= 2 for event in schedule)
+        if n <= 3:
+            space = frozenset(s.canonical() for s in enumerate_schedules(n, t, 2))
+            assert schedule.canonical() in space
+
+
+class TestCanonicalForm:
+    def test_canonical_is_order_insensitive_and_hashable(self):
+        events = [
+            CrashEvent(2, 2, frozenset({0, 1})),
+            CrashEvent.round_one_prefix(0, 1),
+        ]
+        forward = CrashSchedule.from_events(events)
+        backward = CrashSchedule.from_events(reversed(events))
+        assert forward.canonical() == backward.canonical()
+        assert hash(forward.canonical()) == hash(backward.canonical())
+        assert forward.canonical() == ((0, 1, (0,)), (2, 2, (0, 1)))

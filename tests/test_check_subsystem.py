@@ -1,0 +1,380 @@
+"""The model checker: frontier, oracles, Engine.check, mutants, differential.
+
+The heart of the file is the acceptance triangle of the subsystem:
+
+* the **theorem tests**: `condition-kset` decides within the paper's bounds
+  on *every* schedule of every small ``(n, t, d)`` cell;
+* the **parity test**: ``workers=1`` and ``workers=4`` produce byte-identical
+  reports over the complete ``n=4, t=2`` schedule space, for both the
+  condition-based algorithm (the Theorem 10 oracles) and the early-deciding
+  baseline (the Section 8 oracle) — together all five property-oracle
+  families are verified;
+* the **mutant test**: a deliberately broken algorithm (FloodMin skipping
+  one round) is *caught*, with a replayable counterexample that round-trips
+  through the JSONL store — proof that the checker can fail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import AgreementSpec, Engine, RunConfig
+from repro.check import (
+    MUTANT_HASTY_FLOODMIN,
+    Counterexample,
+    default_oracle_names,
+    differential_check,
+    input_frontier,
+    register_mutants,
+    run_check,
+)
+from repro.core.vectors import InputVector
+from repro.exceptions import BackendError, InvalidParameterError
+from repro.store import ResultStore
+from repro.workloads import exhaustive_scenario
+
+
+def small_spec(**overrides) -> AgreementSpec:
+    parameters = dict(n=3, t=1, k=1, d=1, ell=1, domain=2)
+    parameters.update(overrides)
+    return AgreementSpec(**parameters)
+
+
+# ----------------------------------------------------------------------
+# The input frontier
+# ----------------------------------------------------------------------
+class TestInputFrontier:
+    def test_tiny_domain_enumerates_every_vector(self):
+        spec = small_spec()
+        frontier = input_frontier(spec, spec.condition_oracle())
+        assert len(frontier) == 2**3
+        assert len({v.entries for v in frontier}) == len(frontier)
+
+    def test_structured_frontier_is_deterministic_and_mixed(self):
+        spec = AgreementSpec(n=6, t=3, k=2, d=1, ell=1, domain=8)
+        oracle = spec.condition_oracle()
+        first = input_frontier(spec, oracle)
+        second = input_frontier(spec, oracle)
+        assert first == second
+        assert 0 < len(first) <= 12
+        memberships = {oracle.contains(v) for v in first}
+        assert memberships == {True, False}, "frontier must straddle the condition"
+
+    def test_structured_frontier_has_boundary_and_just_outside(self):
+        spec = AgreementSpec(n=6, t=3, k=2, d=1, ell=1, domain=8)
+        oracle = spec.condition_oracle()
+        frontier = input_frontier(spec, oracle)
+        occupancies = []
+        for vector in frontier:
+            top = vector.greatest_values(spec.ell)
+            occupancies.append(vector.occurrences_of_set(frozenset(top)))
+        # Boundary: exactly x + 1 top entries; just outside: exactly x.
+        assert spec.x + 1 in occupancies
+        assert spec.x in occupancies
+
+    def test_condition_free_frontier(self):
+        spec = AgreementSpec(n=6, t=2, k=2, domain=9)
+        frontier = input_frontier(spec, None)
+        assert 0 < len(frontier) <= 12
+        assert len({v.entries for v in frontier}) == len(frontier)
+
+    def test_max_vectors_caps_the_structured_mode(self):
+        spec = AgreementSpec(n=6, t=3, k=2, d=1, ell=1, domain=8)
+        frontier = input_frontier(spec, spec.condition_oracle(), max_vectors=3)
+        assert len(frontier) == 3
+        with pytest.raises(InvalidParameterError):
+            input_frontier(spec, None, max_vectors=0)
+
+
+# ----------------------------------------------------------------------
+# Engine.check basics
+# ----------------------------------------------------------------------
+class TestEngineCheck:
+    def test_full_space_check_passes_and_cross_validates(self):
+        engine = Engine(small_spec())
+        report = engine.check()
+        assert report.passed and bool(report)
+        assert report.schedule_count == 37  # 1 + 3 * (4 + 8)
+        assert report.vector_count == 8
+        assert report.executions == 37 * 8
+        assert report.tally("validity").checked == report.executions
+        assert report.tally("agreement").violations == 0
+        assert "PASS" in report.render()
+
+    def test_oracle_subset_and_unknown_oracle(self):
+        engine = Engine(small_spec())
+        report = engine.check(oracles=("validity", "termination"))
+        assert [tally.oracle for tally in report.tallies] == ["validity", "termination"]
+        with pytest.raises(InvalidParameterError):
+            engine.check(oracles=("no-such-oracle",))
+        with pytest.raises(InvalidParameterError):
+            report.tally("agreement")
+
+    def test_explicit_vectors_and_rounds(self):
+        engine = Engine(small_spec())
+        report = engine.check(vectors=[[1, 1, 1], [2, 2, 2]], rounds=1)
+        assert report.vector_count == 2
+        assert report.rounds == 1
+        assert report.schedule_count == 1 + 3 * 4
+        with pytest.raises(InvalidParameterError):
+            engine.check(rounds=0)
+
+    def test_async_only_algorithm_is_rejected(self):
+        engine = Engine(small_spec(k=1), "async-condition")
+        with pytest.raises(BackendError):
+            engine.check()
+
+    def test_early_deciding_oracle_is_exercised(self):
+        engine = Engine(AgreementSpec(n=3, t=1, k=1, domain=2), "early-deciding")
+        report = engine.check()
+        tally = report.tally("early-deciding-bound")
+        assert tally.checked == report.executions
+        assert tally.violations == 0
+        # Condition-free: the in-condition oracle never applies.
+        assert report.tally("round-bound-in-condition").checked == 0
+        assert report.tally("round-bound-outside").checked == report.executions
+
+    def test_report_record_is_json_serializable(self):
+        report = Engine(small_spec()).check()
+        payload = json.dumps(report.to_record(), sort_keys=True)
+        assert '"schedule_count": 37' in payload
+
+
+# ----------------------------------------------------------------------
+# The theorems, exhaustively (satellite: every n <= 4, t <= 2, d <= t cell)
+# ----------------------------------------------------------------------
+def theorem_cells():
+    """Every (n, t, d) cell with n <= 4, t <= 2, d <= t; k = max(t, 1).
+
+    The ``t = 2`` cells of ``n = 4`` have schedule spaces in the thousands,
+    so they trade the all-vectors frontier for the structured boundary set;
+    everything else is exhaustive in both dimensions.
+    """
+    cells = []
+    for n in (3, 4):
+        for t in (1, 2):
+            if t >= n:
+                continue
+            for d in range(0, t + 1):
+                heavy = n == 4 and t == 2
+                cells.append(
+                    pytest.param(
+                        n, t, d, max(t, 1),
+                        3 if heavy else 2,   # m
+                        3 if heavy else 100,  # max_vectors
+                        1 if heavy else 100,  # all_vectors_limit
+                        id=f"n{n}-t{t}-d{d}",
+                    )
+                )
+    return cells
+
+
+class TestTheoremsExhaustively:
+    @pytest.mark.parametrize("n,t,d,k,m,max_vectors,all_vectors_limit", theorem_cells())
+    def test_condition_kset_decides_within_the_bounds_on_all_schedules(
+        self, n, t, d, k, m, max_vectors, all_vectors_limit
+    ):
+        spec = AgreementSpec(n=n, t=t, k=k, d=d, ell=1, domain=m)
+        report = Engine(spec, "condition-kset").check(
+            max_vectors=max_vectors, all_vectors_limit=all_vectors_limit
+        )
+        assert report.passed, report.render()
+        checked = {tally.oracle: tally.checked for tally in report.tallies}
+        assert checked["validity"] == report.executions
+        # Both round-bound oracles together cover every execution.
+        assert (
+            checked["round-bound-in-condition"] + checked["round-bound-outside"]
+            == report.executions
+        )
+
+    @pytest.mark.slow
+    def test_condition_kset_k1_t2_full_depth(self):
+        """The k=1 variant runs 3 crash rounds deep (8363 schedules x 16
+        vectors): beyond the tier-1 budget, same exhaustive claim."""
+        spec = AgreementSpec(n=4, t=2, k=1, d=1, ell=1, domain=2)
+        report = Engine(spec, "condition-kset").check()
+        assert report.schedule_count == 8363
+        assert report.passed, report.render()
+
+
+# ----------------------------------------------------------------------
+# Parity: workers=1 and workers=4 produce byte-identical reports (acceptance)
+# ----------------------------------------------------------------------
+class TestWorkerParity:
+    N4T2 = AgreementSpec(n=4, t=2, k=2, d=1, ell=1, domain=6)
+
+    def _records(self, spec, algorithm, **check_kwargs):
+        records = []
+        for workers in (1, 4):
+            engine = Engine(spec, algorithm, RunConfig(workers=workers))
+            report = engine.check(**check_kwargs)
+            records.append(json.dumps(report.to_record(), sort_keys=True))
+        return records
+
+    def test_condition_kset_n4_t2_byte_identical(self):
+        serial, parallel = self._records(
+            self.N4T2, "condition-kset", max_vectors=4, all_vectors_limit=1
+        )
+        assert serial == parallel
+        report = json.loads(serial)
+        assert report["schedule_count"] == 2731  # the complete n=4, t=2 space
+        assert report["executions"] == 2731 * 4
+        assert all(tally["violations"] == 0 for tally in report["tallies"])
+
+    def test_early_deciding_n4_t2_byte_identical(self):
+        serial, parallel = self._records(
+            self.N4T2, "early-deciding", max_vectors=3, all_vectors_limit=1
+        )
+        assert serial == parallel
+        report = json.loads(serial)
+        assert report["schedule_count"] == 2731
+        tallies = {tally["oracle"]: tally for tally in report["tallies"]}
+        assert tallies["early-deciding-bound"]["checked"] == report["executions"]
+        assert tallies["early-deciding-bound"]["violations"] == 0
+
+    def test_worker_parity_holds_when_violations_exist(self):
+        register_mutants()
+        spec = small_spec()
+        serial, parallel = self._records(spec, MUTANT_HASTY_FLOODMIN)
+        assert serial == parallel
+        assert json.loads(serial)["counterexamples"]
+
+    def test_parallel_check_requires_registry_engine(self):
+        from repro.algorithms.classic_kset import FloodMinKSetAgreement
+
+        engine = Engine.for_algorithm(FloodMinKSetAgreement(t=1, k=1), n=3)
+        with pytest.raises(InvalidParameterError):
+            run_check(engine, workers=2)
+
+    def test_cross_validation_detects_generator_drift(self, monkeypatch):
+        """If the closed form and the generator ever disagree — in either
+        direction — the check must refuse to report, not silently truncate."""
+        import repro.check.checker as checker
+        from repro.exceptions import SimulationError
+        from repro.sync.adversary import count_schedules
+
+        for drift in (-1, +1):
+            monkeypatch.setattr(
+                checker, "count_schedules", lambda n, t, r, d=drift: count_schedules(n, t, r) + d
+            )
+            with pytest.raises(SimulationError):
+                Engine(small_spec()).check()
+
+
+# ----------------------------------------------------------------------
+# The mutant: the checker catches a real violation (and replays it)
+# ----------------------------------------------------------------------
+class TestMutantDetection:
+    @pytest.fixture(autouse=True)
+    def _mutants(self):
+        register_mutants()
+
+    def test_registration_is_idempotent_and_hidden_by_default(self):
+        assert register_mutants() == (MUTANT_HASTY_FLOODMIN,)
+        assert register_mutants() == (MUTANT_HASTY_FLOODMIN,)
+
+    def test_checker_flags_the_hasty_mutant(self):
+        report = Engine(small_spec(), MUTANT_HASTY_FLOODMIN).check()
+        assert not report.passed
+        assert report.tally("agreement").violations > 0
+        # The correct algorithms sail through the identical space.
+        assert Engine(small_spec(), "floodmin").check().passed
+        assert Engine(small_spec(), "condition-kset").check().passed
+
+    def test_counterexample_replays_to_the_same_violation(self):
+        report = Engine(small_spec(), MUTANT_HASTY_FLOODMIN).check()
+        counterexample = report.counterexamples[0]
+        result = counterexample.replay()
+        assert result.distinct_decision_count() > counterexample.spec.k
+        assert result.decisions == counterexample.decisions
+
+    def test_counterexample_record_round_trips(self):
+        report = Engine(small_spec(), MUTANT_HASTY_FLOODMIN).check()
+        original = report.counterexamples[0]
+        rebuilt = Counterexample.from_record(original.to_record())
+        assert rebuilt.to_record() == original.to_record()
+        assert rebuilt.schedule.canonical() == original.schedule.canonical()
+        with pytest.raises(InvalidParameterError):
+            Counterexample.from_record({"oracle": "agreement"})
+
+    def test_counterexamples_persist_to_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "counterexamples.jsonl")
+        report = Engine(small_spec(), MUTANT_HASTY_FLOODMIN).check(store=store)
+        assert store.counts() == {"counterexample": len(report.counterexamples)}
+        loaded = store.load_counterexamples()
+        assert [ce.to_record() for ce in loaded] == [
+            ce.to_record() for ce in report.counterexamples
+        ]
+        # The reloaded record is still replayable: the violation reproduces.
+        replayed = loaded[0].replay()
+        assert replayed.distinct_decision_count() > loaded[0].spec.k
+
+    def test_known_counterexample_regression(self):
+        """The first counterexample the checker ever found, pinned forever.
+
+        Found by `Engine(AgreementSpec(3, 1, k=1, d=1, domain=2),
+        "mutant-hasty-floodmin").check()`: process 0 proposes 1, crashes
+        during round 1 after delivering to {0, 1}; the hasty mutant decides
+        at round 1, so p1 decides min(1, 2) = 1 while p2 (which never heard
+        p0) decides 2 — two values under k = 1.
+        """
+        record = {
+            "oracle": "agreement",
+            "algorithm": MUTANT_HASTY_FLOODMIN,
+            "detail": "2 distinct values decided",
+            "spec": {"n": 3, "t": 1, "k": 1, "d": 1, "ell": 1, "domain": 2,
+                     "condition": "max-legal", "condition_params": ()},
+            "vector": [1, 2, 2],
+            "schedule": [{"process_id": 0, "round_number": 1, "delivered_to": [0, 1]}],
+            "decisions": {"1": 1, "2": 2},
+            "duration": 1,
+        }
+        result = Counterexample.from_record(record).replay()
+        assert result.decisions == {1: 1, 2: 2}
+        assert result.distinct_decision_count() == 2  # > k = 1: still broken
+
+
+# ----------------------------------------------------------------------
+# Differential mode
+# ----------------------------------------------------------------------
+class TestDifferentialMode:
+    def test_identical_algorithms_never_diverge(self):
+        report = differential_check(small_spec(), "condition-kset", "condition-kset")
+        assert report.identical and bool(report)
+        assert report.mismatches == 0 and report.examples == []
+        assert report.executions == report.schedule_count * report.vector_count
+
+    def test_mutant_diverges_from_its_reference(self):
+        register_mutants()
+        report = differential_check(small_spec(), MUTANT_HASTY_FLOODMIN, "floodmin")
+        assert not report.identical
+        assert report.mismatches > 0
+        diff = report.examples[0]
+        assert diff.decisions_a != diff.decisions_b
+        assert "DIVERGED" in report.render()
+        json.dumps(report.to_record())  # records must be serializable
+
+
+# ----------------------------------------------------------------------
+# The exhaustive scenario (workloads integration)
+# ----------------------------------------------------------------------
+class TestExhaustiveScenario:
+    def test_scenario_spans_the_whole_space(self):
+        scenario = exhaustive_scenario(n=3, m=2, t=1, d=1, ell=1, k=1)
+        assert scenario.schedule_count == 37
+        assert len(scenario.frontier) == 8
+        assert scenario.execution_count == 296
+        pairs = list(scenario.executions())
+        assert len(pairs) == scenario.execution_count
+        vector, schedule = pairs[0]
+        assert isinstance(vector, InputVector)
+        assert schedule.crash_count() == 0  # enumeration starts failure-free
+
+    def test_scenario_check_matches_engine_check(self):
+        scenario = exhaustive_scenario(n=3, m=2, t=1, d=1, ell=1, k=1)
+        report = scenario.check("condition-kset")
+        assert report.passed
+        direct = Engine(small_spec()).check()
+        assert report.to_record() == direct.to_record()

@@ -25,6 +25,11 @@ class TestParser:
         assert conditions.action == "check"
         assert conditions.family == "hamming-ball"
         assert conditions.param == ["radius=1"]
+        check = parser.parse_args(
+            ["check", "--n", "4", "--t", "1", "--d", "1", "--k", "1", "--workers", "2"]
+        )
+        assert check.command == "check"
+        assert check.n == 4 and check.workers == 2 and check.differential is None
 
 
 class TestCommands:
@@ -104,3 +109,56 @@ class TestCommands:
         assert main(["algorithms"]) == 0
         output = capsys.readouterr().out
         assert "conditions:" in output and "max-legal" in output
+
+
+class TestCheckCommand:
+    def test_check_passes_on_a_small_exhaustive_cell(self, capsys):
+        assert main(
+            ["check", "--n", "3", "--t", "1", "--d", "1", "--k", "1", "--m", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "37 schedules" in output
+        assert "verdict          : PASS" in output
+
+    def test_check_fails_on_a_broken_algorithm_and_stores_counterexamples(
+        self, capsys, tmp_path
+    ):
+        from repro.check import MUTANT_HASTY_FLOODMIN, register_mutants
+        from repro.store import ResultStore
+
+        register_mutants()
+        store_path = tmp_path / "ce.jsonl"
+        assert main(
+            [
+                "check", "--n", "3", "--t", "1", "--d", "1", "--k", "1", "--m", "2",
+                "--algorithm", MUTANT_HASTY_FLOODMIN, "--store", str(store_path),
+            ]
+        ) == 1
+        output = capsys.readouterr().out
+        assert "verdict          : FAIL" in output
+        assert "counterexample records" in output
+        assert ResultStore(store_path).load_counterexamples()
+
+    def test_check_differential_mode(self, capsys):
+        assert main(
+            [
+                "check", "--n", "3", "--t", "1", "--d", "1", "--k", "1", "--m", "2",
+                "--differential", "condition-kset",
+            ]
+        ) == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+    def test_check_differential_unknown_algorithm(self, capsys):
+        assert main(
+            ["check", "--n", "3", "--t", "1", "--d", "1", "--k", "1",
+             "--differential", "nope"]
+        ) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_check_differential_rejects_workers_and_store(self, capsys):
+        base = ["check", "--n", "3", "--t", "1", "--d", "1", "--k", "1",
+                "--differential", "floodmin"]
+        assert main(base + ["--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(base + ["--store", "nope.jsonl"]) == 2
+        assert "--store" in capsys.readouterr().err

@@ -9,6 +9,9 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from strategies import crash_schedules
+from strategies import vectors as vector_strategy
+
 from repro.algorithms.classic_kset import FloodMinKSetAgreement
 from repro.algorithms.condition_kset import ConditionBasedKSetAgreement
 from repro.algorithms.early_deciding_kset import EarlyDecidingKSetAgreement
@@ -16,7 +19,6 @@ from repro.analysis.properties import assert_execution_correct, check_execution
 from repro.core.conditions import MaxLegalCondition
 from repro.core.hierarchy import rounds_in_condition, rounds_outside_condition
 from repro.core.vectors import InputVector
-from repro.sync.adversary import CrashEvent, CrashSchedule
 from repro.sync.runtime import SynchronousSystem
 
 # One fixed system shape keeps the state space meaningful while letting
@@ -28,35 +30,12 @@ ALGORITHM = ConditionBasedKSetAgreement(condition=CONDITION, t=T, d=D, k=K)
 LAST_ROUND = ALGORITHM.last_round()
 
 
-vectors = st.lists(
-    st.integers(min_value=1, max_value=M), min_size=N, max_size=N
-).map(InputVector)
+vectors = vector_strategy(N, M)
 
 
-@st.composite
-def schedules(draw):
-    """Up to T crash events with valid round-1 prefixes and arbitrary later subsets."""
-    victim_count = draw(st.integers(min_value=0, max_value=T))
-    victims = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=N - 1),
-            unique=True,
-            min_size=victim_count,
-            max_size=victim_count,
-        )
-    )
-    events = []
-    for victim in victims:
-        round_number = draw(st.integers(min_value=1, max_value=LAST_ROUND))
-        if round_number == 1:
-            prefix = draw(st.integers(min_value=0, max_value=N))
-            events.append(CrashEvent.round_one_prefix(victim, prefix))
-        else:
-            receivers = draw(
-                st.frozensets(st.integers(min_value=0, max_value=N - 1), max_size=N)
-            )
-            events.append(CrashEvent(victim, round_number, receivers))
-    return CrashSchedule.from_events(events)
+def schedules():
+    """The shared crash-schedule strategy bound to this module's system shape."""
+    return crash_schedules(N, T, LAST_ROUND)
 
 
 @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])

@@ -12,9 +12,10 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from strategies import small_params, vectors, views
+
 from repro.core.conditions import MaxLegalCondition
 from repro.core.counting import brute_force_condition_size, max_condition_size
-from repro.core.values import BOTTOM
 from repro.core.vectors import (
     InputVector,
     View,
@@ -22,36 +23,6 @@ from repro.core.vectors import (
     hamming_distance,
     intersecting_values,
 )
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-small_params = st.tuples(
-    st.integers(min_value=2, max_value=5),   # n
-    st.integers(min_value=2, max_value=3),   # m
-).flatmap(
-    lambda nm: st.tuples(
-        st.just(nm[0]),
-        st.just(nm[1]),
-        st.integers(min_value=0, max_value=nm[0] - 1),  # x
-        st.integers(min_value=1, max_value=3),           # ell
-    )
-)
-
-
-def views(n: int, m: int, max_bottoms: int | None = None):
-    """A strategy of views of size n over {1..m} with a bounded number of ⊥."""
-    entry = st.one_of(st.just(BOTTOM), st.integers(min_value=1, max_value=m))
-    strategy = st.lists(entry, min_size=n, max_size=n).map(View)
-    if max_bottoms is not None:
-        strategy = strategy.filter(lambda v: v.bottom_count() <= max_bottoms)
-    return strategy
-
-
-def vectors(n: int, m: int):
-    return st.lists(
-        st.integers(min_value=1, max_value=m), min_size=n, max_size=n
-    ).map(InputVector)
 
 
 # ----------------------------------------------------------------------
