@@ -1,0 +1,16 @@
+"""E15 — the asynchronous adversary subsystem end to end.
+
+Sweeps the scheduling strategies (round-robin, seeded-random, latency-skew)
+across the crash regimes (failure-free, initial, mid-run crash points),
+asserts determinism and safety of every cell, and runs the
+bounded-interleaving model check on a tiny system with its closed-form
+cross-validation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_async_adversaries
+
+
+def test_e15_async_adversaries(run_experiment_benchmark):
+    run_experiment_benchmark(experiment_async_adversaries)

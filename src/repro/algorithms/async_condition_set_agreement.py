@@ -82,6 +82,11 @@ class AsyncConditionSetAgreementProcess(AsynchronousProcess):
         """Current phase of the state machine (useful in tests)."""
         return self._phase
 
+    def on_reset(self) -> None:
+        # Batched execution reuses the process pool: back to the write phase.
+        self._phase = self._PHASE_WRITE
+        self._last_view = None
+
     def execute_step(self) -> None:
         if self._phase == self._PHASE_WRITE:
             self.memory.write_proposal(self.process_id, self.proposal)
@@ -123,23 +128,32 @@ def run_async_condition_set_agreement(
     crashed: tuple[int, ...] = (),
     seed: Random | int | None = 0,
     max_steps_per_process: int = 200,
+    adversary=None,
+    crash_steps=None,
 ) -> AsyncExecutionResult:
     """Convenience harness: run one asynchronous execution end to end.
 
     Parameters mirror the model of Section 4: *x* is the crash-resilience
     of the condition, *crashed* lists the processes that never take a step
     (at most ``x`` of them for the termination guarantee to apply), and the
-    seed selects the interleaving.
+    seed selects the interleaving.  *adversary* picks a scheduling strategy
+    (an :class:`~repro.asynchronous.adversary.AsyncAdversary` or a registry
+    name; ``None`` keeps the seed-driven default) and *crash_steps* injects
+    mid-execution crash points (``pid -> steps before vanishing``).
+
+    One-shot construction: batches should go through
+    :class:`~repro.asynchronous.executor.AsyncExecutor` (or the engine),
+    which reuses the substrate across runs.
     """
     n = len(input_vector)
-    if len(crashed) > x:
-        # Allowed (the adversary may do it) but the termination guarantee is
-        # void; the caller decides how to interpret the outcome.
-        pass
     memory = SharedMemory(n)
     processes = [
         AsyncConditionSetAgreementProcess(pid, n, memory, condition, x)
         for pid in range(n)
     ]
-    scheduler = AsynchronousScheduler(seed=seed, max_steps_per_process=max_steps_per_process)
-    return scheduler.run(processes, list(input_vector), crashed=crashed)
+    scheduler = AsynchronousScheduler(
+        seed=seed, max_steps_per_process=max_steps_per_process, adversary=adversary
+    )
+    return scheduler.run(
+        processes, list(input_vector), crashed=crashed, crash_steps=crash_steps
+    )

@@ -52,7 +52,9 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
-from ..algorithms.async_condition_set_agreement import run_async_condition_set_agreement
+from ..algorithms.async_condition_set_agreement import AsyncConditionSetAgreementProcess
+from ..asynchronous.adversary import AsyncAdversary
+from ..asynchronous.executor import AsyncExecutor
 from ..core.conditions import ConditionOracle
 from ..core.vectors import InputVector, View
 from ..exceptions import BackendError, InvalidParameterError, ReproError
@@ -265,6 +267,9 @@ class Engine:
         self._spec = spec
         self._config = config or RunConfig()
         self._system: SynchronousSystem | None = None
+        # One asynchronous substrate (SharedMemory + process pool) per engine,
+        # built lazily and reset between runs instead of reallocated per run.
+        self._async_executor_cache: AsyncExecutor | None = None
         # id -> schedule, weak-valued: an entry lives exactly as long as its
         # schedule object, so a recycled address can never satisfy the lookup
         # (the old entry is purged when its object dies) and the cache cannot
@@ -357,6 +362,8 @@ class Engine:
         seed: int | None = None,
         backend: str | None = None,
         max_steps: int | None = None,
+        async_adversary: "AsyncAdversary | str | None" = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> RunResult:
         """Execute one vector and return the normalized :class:`RunResult`.
 
@@ -366,19 +373,36 @@ class Engine:
         backend, the interleaving.  *max_steps* overrides the per-process
         step budget and is async-only (the synchronous backend is bounded by
         the algorithm's own round bound); passing it with ``backend="sync"``
-        raises.
+        raises, as do the other async-only knobs below.
 
-        On the asynchronous backend the schedule's faulty processes are never
-        scheduled.  Crashing more than ``spec.x`` of them is allowed — the
-        adversary may do it — but voids the Section 4 termination guarantee
-        even for in-condition inputs: such runs typically exhaust their step
-        budget and come back with ``terminated=False``.
+        On the asynchronous backend the schedule's crash events project onto
+        crash *points*: a process crashing in round ``r`` takes ``r - 1``
+        atomic steps (plus one when its crash-round message was delivered to
+        anyone — its write lands) and then vanishes, its earlier writes
+        staying visible.  *crash_steps* (``pid -> steps before vanishing``)
+        overrides or extends those points directly, and *async_adversary*
+        picks the scheduling strategy (a registry name such as
+        ``"round-robin"`` / ``"latency-skew"`` or an
+        :class:`~repro.asynchronous.adversary.AsyncAdversary` instance;
+        ``None`` uses the config's default).  Crashing more than ``spec.x``
+        processes is allowed — the adversary may do it — but voids the
+        Section 4 termination guarantee even for in-condition inputs: such
+        runs typically exhaust their step budget and come back with
+        ``terminated=False``.
         """
         input_vector = self._normalise_vector(vector)
         backend = backend or self._config.backend
         seed = self._config.seed if seed is None else seed
         crash_schedule = self._resolve_schedule(schedule, seed)
-        return self._execute(input_vector, crash_schedule, seed, backend, max_steps)
+        return self._execute(
+            input_vector,
+            crash_schedule,
+            seed,
+            backend,
+            max_steps,
+            async_adversary=async_adversary,
+            crash_steps=crash_steps,
+        )
 
     # -- batched runs --------------------------------------------------------
     def run_batch(
@@ -390,6 +414,8 @@ class Engine:
         chunk_size: int | None = None,
         workers: int | None = None,
         store: "ResultStore | None" = None,
+        async_adversary: "AsyncAdversary | str | None" = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> list[RunResult]:
         """Execute many vectors through one chunked, memoized pipeline.
 
@@ -422,9 +448,17 @@ class Engine:
         :class:`repro.store.ResultStore` as it is produced, so an
         interrupted batch keeps what it already computed.
 
+        *async_adversary* and *crash_steps* apply to every run of the batch
+        (asynchronous backend only, same contract as :meth:`run`); parallel
+        batches require the adversary as a registry name, since strategy
+        instances do not travel to workers.
+
         Work shared across the batch: condition membership, the predicate
-        ``P`` and view decoding (memoized for the engine's lifetime), and the
-        validation of each distinct crash schedule (done once, not per run).
+        ``P`` and view decoding (memoized for the engine's lifetime), the
+        validation of each distinct crash schedule (done once, not per run)
+        and — on the asynchronous backend — one reusable
+        :class:`~repro.asynchronous.executor.AsyncExecutor` substrate instead
+        of a fresh ``SharedMemory`` + process pool per run.
         """
         return list(
             self.iter_batch(
@@ -434,6 +468,8 @@ class Engine:
                 chunk_size=chunk_size,
                 workers=workers,
                 store=store,
+                async_adversary=async_adversary,
+                crash_steps=crash_steps,
             )
         )
 
@@ -446,6 +482,8 @@ class Engine:
         chunk_size: int | None = None,
         workers: int | None = None,
         store: "ResultStore | None" = None,
+        async_adversary: "AsyncAdversary | str | None" = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> Iterator[RunResult]:
         """Stream the batch: yield each :class:`RunResult` as it completes.
 
@@ -482,23 +520,49 @@ class Engine:
                 f"this engine wraps the pre-built instance "
                 f"{self._algorithm_name!r}, which workers cannot rebuild"
             )
+        if worker_count > 1 and isinstance(async_adversary, AsyncAdversary):
+            raise InvalidParameterError(
+                "parallel batches need the async adversary as a registry name "
+                f"(got the instance {async_adversary.name!r}); strategy objects "
+                "do not travel to workers"
+            )
 
         staged_chunks = self._staged_chunks(iter(vectors), pairing, chunk)
         if worker_count == 1:
-            return self._iter_serial(staged_chunks, backend, store)
+            return self._iter_serial(
+                staged_chunks, backend, store, async_adversary, crash_steps
+            )
         from ..parallel import execute_batch
 
-        return execute_batch(self, staged_chunks, backend, worker_count, store=store)
+        return execute_batch(
+            self,
+            staged_chunks,
+            backend,
+            worker_count,
+            store=store,
+            async_adversary=async_adversary,
+            crash_steps=crash_steps,
+        )
 
     def _iter_serial(
         self,
         staged_chunks: Iterator[list[tuple[InputVector, CrashSchedule, int]]],
         backend: str,
         store: "ResultStore | None",
+        async_adversary: "AsyncAdversary | str | None" = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> Iterator[RunResult]:
         for staged in staged_chunks:
             for normalised, crash_schedule, seed in staged:
-                result = self._execute(normalised, crash_schedule, seed, backend, None)
+                result = self._execute(
+                    normalised,
+                    crash_schedule,
+                    seed,
+                    backend,
+                    None,
+                    async_adversary=async_adversary,
+                    crash_steps=crash_steps,
+                )
                 if store is not None:
                     store.append(result)
                 yield result
@@ -568,7 +632,10 @@ class Engine:
     def check(
         self,
         *,
+        backend: str | None = None,
         rounds: int | None = None,
+        depth: int | None = None,
+        max_crashes: int | None = None,
         vectors: Iterable[InputVector | Sequence[Any]] | None = None,
         oracles: Iterable[str] | None = None,
         workers: int | None = None,
@@ -577,30 +644,69 @@ class Engine:
         max_vectors: int = 12,
         all_vectors_limit: int = 100,
     ):
-        """Verify the bound algorithm over **every** crash schedule.
+        """Verify the bound algorithm over **every** adversary of its model.
 
-        Model checking, not sampling: the complete Section 6.2 schedule space
-        for ``(spec.n, spec.t)`` with crash rounds in ``[1, rounds]``
-        (default: the unconditional deadline ``⌊t/k⌋ + 1`` — later crashes
-        are unobservable) is enumerated through
-        :func:`repro.sync.adversary.enumerate_schedules`, cross-validated
-        against the closed-form count on every run, and each schedule is
-        executed against a deterministic input frontier (*vectors* if given;
-        otherwise all ``m^n`` vectors when ``m^n <= all_vectors_limit``, else
-        a structured frontier of at most *max_vectors* boundary /
-        just-outside / sampled vectors).  Every execution is evaluated by the
-        property *oracles* (default: all registered oracles — validity,
-        agreement, termination, the Theorem 10 round bounds in/out of the
-        condition, the Section 8 early-deciding bound).
+        Model checking, not sampling — on both backends:
 
-        Returns a :class:`repro.check.CheckReport` with per-oracle tallies
-        and replayable :class:`~repro.check.Counterexample` records (at most
-        *max_counterexamples*; violations are always counted in full).
-        *workers* (default: the config's ``workers``) shards the schedule
-        space across the process pool with a **byte-identical** report;
-        *store* persists the report's counterexamples as JSONL records.
-        Synchronous backend only.
+        * ``backend="sync"`` (the default): the complete Section 6.2 schedule
+          space for ``(spec.n, spec.t)`` with crash rounds in ``[1, rounds]``
+          (default: the unconditional deadline ``⌊t/k⌋ + 1`` — later crashes
+          are unobservable) is enumerated through
+          :func:`repro.sync.adversary.enumerate_schedules`, cross-validated
+          against the closed-form count on every run.  Returns a
+          :class:`repro.check.CheckReport`.
+        * ``backend="async"``: the bounded-interleaving space — every
+          scheduling prefix of ``{0..n-1}^depth`` (default ``depth = n``),
+          crossed with every crash assignment of at most *max_crashes*
+          processes (default ``spec.x``) to crash points in ``[0, depth]``
+          — is enumerated through
+          :func:`repro.asynchronous.enumerate_interleavings`,
+          cross-validated against its closed form, and evaluated by the
+          asynchronous oracles (validity, l-agreement, in-condition
+          termination within budget, the per-process step budget).  Returns
+          an :class:`repro.check.AsyncCheckReport`.  *rounds* is sync-only;
+          *depth* / *max_crashes* are async-only.
+
+        Either way each adversary is executed against a deterministic input
+        frontier (*vectors* if given; otherwise all ``m^n`` vectors when
+        ``m^n <= all_vectors_limit``, else a structured frontier of at most
+        *max_vectors* boundary / just-outside / sampled vectors), the report
+        carries replayable counterexample records (at most
+        *max_counterexamples*; violations are always counted in full),
+        *workers* (default: the config's ``workers``) shards the adversary
+        space across the process pool with a **byte-identical** report, and
+        *store* persists the counterexamples as JSONL records.
         """
+        backend = backend or "sync"
+        if backend not in ("sync", "async"):
+            raise BackendError(
+                f"unknown backend {backend!r}; expected 'sync' or 'async'"
+            )
+        if backend == "async":
+            if rounds is not None:
+                raise InvalidParameterError(
+                    "rounds bounds the synchronous schedule space; the "
+                    "asynchronous check takes depth= and max_crashes="
+                )
+            from ..check.async_checker import run_async_check
+
+            return run_async_check(
+                self,
+                depth=depth,
+                max_crashes=max_crashes,
+                vectors=vectors,
+                oracles=oracles,
+                workers=workers,
+                store=store,
+                max_counterexamples=max_counterexamples,
+                max_vectors=max_vectors,
+                all_vectors_limit=all_vectors_limit,
+            )
+        if depth is not None or max_crashes is not None:
+            raise InvalidParameterError(
+                "depth and max_crashes bound the asynchronous interleaving "
+                "space; the synchronous check takes rounds="
+            )
         from ..check.checker import run_check
 
         return run_check(
@@ -626,6 +732,8 @@ class Engine:
         backend: str | None = None,
         workers: int | None = None,
         store: "ResultStore | None" = None,
+        async_adversary: str | None = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> list[SweepCell]:
         """Run a batch for every combination of the *grid* spec overrides.
 
@@ -648,7 +756,15 @@ class Engine:
         returned cells are identical to the serial sweep.  *store* appends
         every completed cell to a :class:`repro.store.ResultStore`, in cell
         order, so an interrupted sweep keeps its finished cells.
+        *async_adversary* (a registry name — sweeps always stay picklable)
+        and *crash_steps* apply to every run of every cell on the
+        asynchronous backend, same contract as :meth:`run`.
         """
+        if isinstance(async_adversary, AsyncAdversary):
+            raise InvalidParameterError(
+                "sweep needs the async adversary as a registry name (cells "
+                f"must stay picklable); got the instance {async_adversary.name!r}"
+            )
         if self._entry is None:
             raise InvalidParameterError(
                 "sweep needs an engine built from a registry key; this engine "
@@ -678,11 +794,15 @@ class Engine:
             from ..parallel import execute_sweep
 
             cell_stream = execute_sweep(
-                self, combos, runs_per_cell, vectors, schedule, backend, worker_count
+                self, combos, runs_per_cell, vectors, schedule, backend, worker_count,
+                async_adversary=async_adversary, crash_steps=crash_steps,
             )
         else:
             cell_stream = (
-                self._sweep_cell(overrides, index, runs_per_cell, vectors, schedule, backend)
+                self._sweep_cell(
+                    overrides, index, runs_per_cell, vectors, schedule, backend,
+                    async_adversary, crash_steps,
+                )
                 for index, overrides in enumerate(combos)
             )
         # Persist each cell the moment it exists: an interrupted sweep must
@@ -702,6 +822,8 @@ class Engine:
         vectors: str,
         schedule: CrashSchedule | str | None,
         backend: str | None,
+        async_adversary: str | None = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> SweepCell:
         """Execute one sweep cell (shared by the serial and parallel paths)."""
         from ..workloads.vectors import (
@@ -764,7 +886,10 @@ class Engine:
             # Cells never fan out again themselves: sweep parallelism is at
             # cell granularity, so a worker-side (or workers-configured) cell
             # batch would otherwise open a nested process pool.
-            results = engine.run_batch(batch, schedule, backend=backend, workers=1)
+            results = engine.run_batch(
+                batch, schedule, backend=backend, workers=1,
+                async_adversary=async_adversary, crash_steps=crash_steps,
+            )
         except ReproError as error:  # bad parameter combos report; bugs raise
             return SweepCell(
                 spec=self._safe_cell_spec(overrides),
@@ -868,6 +993,63 @@ class Engine:
             )
         return self._system
 
+    def _async_executor(self) -> AsyncExecutor:
+        """The engine's reusable asynchronous substrate (one per spec)."""
+        if self._async_executor_cache is None:
+            factory_builder = self._entry.async_factory if self._entry else None
+            if factory_builder is not None:
+                factory = factory_builder(self._spec, self._condition)
+            else:
+                if self._condition is None:
+                    raise BackendError(
+                        f"algorithm {self._algorithm_name!r} carries no condition; "
+                        "the asynchronous backend needs one"
+                    )
+                condition, x = self._condition, self._spec.x
+
+                def factory(pid, n, memory):
+                    return AsyncConditionSetAgreementProcess(pid, n, memory, condition, x)
+
+            self._async_executor_cache = AsyncExecutor(
+                self._spec.n, factory, self._config.max_steps_per_process
+            )
+        return self._async_executor_cache
+
+    def _async_crash_steps(
+        self,
+        schedule: CrashSchedule,
+        crash_steps: Mapping[int, int] | None,
+    ) -> dict[int, int]:
+        """Project the crash schedule onto asynchronous crash points.
+
+        A process crashing in round ``r`` has completed ``r − 1`` rounds, one
+        atomic step each, plus the crash-round send when anyone received it —
+        so its crash point is ``(r − 1) + (1 if delivered else 0)``.  In
+        particular a round-1 crash with no delivery is the initial crash
+        (point ``0``, the historical modelling), while any later or
+        delivering crash leaves the process's proposal visible in the shared
+        memory.  Explicit *crash_steps* entries override the projection.
+        """
+        points = {
+            event.process_id: (event.round_number - 1)
+            + (1 if event.delivered_to else 0)
+            for event in schedule
+        }
+        if crash_steps is not None:
+            n = self._spec.n
+            for pid, step in crash_steps.items():
+                if not isinstance(pid, int) or not 0 <= pid < n:
+                    raise InvalidParameterError(
+                        f"crash_steps names process {pid!r} outside [0, {n})"
+                    )
+                if not isinstance(step, int) or step < 0:
+                    raise InvalidParameterError(
+                        f"crash step of process {pid} must be an integer >= 0, "
+                        f"got {step!r}"
+                    )
+                points[pid] = step
+        return points
+
     def _execute(
         self,
         vector: InputVector,
@@ -875,6 +1057,8 @@ class Engine:
         seed: int,
         backend: str,
         max_steps: int | None,
+        async_adversary: "AsyncAdversary | str | None" = None,
+        crash_steps: Mapping[int, int] | None = None,
     ) -> RunResult:
         if backend not in ("sync", "async"):
             raise BackendError(f"unknown backend {backend!r}; expected 'sync' or 'async'")
@@ -883,14 +1067,20 @@ class Engine:
                 f"algorithm {self._algorithm_name!r} does not run on the {backend!r} "
                 f"backend (supported: {', '.join(self.backends())})"
             )
-        if max_steps is not None:
-            if backend == "sync":
-                raise InvalidParameterError(
-                    "max_steps only applies to the asynchronous backend; the "
-                    "synchronous backend is bounded by the algorithm's round bound"
-                )
-            if max_steps < 1:
-                raise InvalidParameterError(f"max_steps must be >= 1, got {max_steps}")
+        if backend == "sync":
+            for name, value in (
+                ("max_steps", max_steps),
+                ("async_adversary", async_adversary),
+                ("crash_steps", crash_steps),
+            ):
+                if value is not None:
+                    raise InvalidParameterError(
+                        f"{name} only applies to the asynchronous backend; the "
+                        "synchronous backend is driven by the crash schedule and "
+                        "its round bound"
+                    )
+        elif max_steps is not None and max_steps < 1:
+            raise InvalidParameterError(f"max_steps must be >= 1, got {max_steps}")
         self._validate_once(schedule)
         in_condition = self._membership(vector)
         condition_name = self._condition.name if self._condition is not None else None
@@ -901,26 +1091,22 @@ class Engine:
                 result, self._algorithm_name, in_condition, condition_name
             )
 
-        # Asynchronous backend: the Section 4 snapshot algorithm over the same
-        # condition.  The schedule projects onto the only freedom of the model
-        # — which processes are never scheduled (the worst case for crashes).
-        # More than spec.x faulty processes is legal but guarantee-free: the
-        # run may block and report terminated=False (see run()'s docstring).
-        if self._condition is None:
-            raise BackendError(
-                f"algorithm {self._algorithm_name!r} carries no condition; "
-                "the asynchronous backend needs one"
-            )
-        crashed = tuple(sorted(event.process_id for event in schedule))
-        result = run_async_condition_set_agreement(
-            self._condition,
-            self._spec.x,
-            vector,
-            crashed=crashed,
-            seed=seed,
-            max_steps_per_process=(
-                max_steps if max_steps is not None else self._config.max_steps_per_process
+        # Asynchronous backend: the schedule projects onto crash points (a
+        # round-r crash takes its r − 1 pre-crash steps and then vanishes,
+        # its writes staying visible) and the adversary strategy owns the
+        # interleaving.  More than spec.x faulty processes is legal but
+        # guarantee-free: the run may block and report terminated=False (see
+        # run()'s docstring).
+        result = self._async_executor().run(
+            list(vector),
+            crash_steps=self._async_crash_steps(schedule, crash_steps),
+            adversary=(
+                self._config.async_adversary
+                if async_adversary is None
+                else async_adversary
             ),
+            seed=seed,
+            max_steps_per_process=max_steps,
         )
         return RunResult.from_async(
             result,

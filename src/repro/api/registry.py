@@ -128,6 +128,13 @@ class AlgorithmEntry:
     uses_condition:
         Whether the algorithm consults a condition oracle (drives the
         engine's membership annotation and decode memoization).
+    async_factory:
+        ``(spec, condition) -> (process_id, n, memory) -> AsynchronousProcess``:
+        how the engine's batched executor builds this algorithm's processes
+        on the asynchronous backend.  ``None`` (the default) means the
+        Section 4 condition-based process — the right answer for every
+        condition-based entry; mutants and alternative async algorithms
+        override it.
     """
 
     name: str
@@ -136,6 +143,7 @@ class AlgorithmEntry:
     agreement_degree: Callable[[AgreementSpec], int]
     summary: str
     uses_condition: bool = True
+    async_factory: Callable[[AgreementSpec, ConditionOracle], Callable] | None = None
 
     def supports(self, backend: str) -> bool:
         """Does the entry run on *backend*?"""
@@ -152,6 +160,7 @@ def register_algorithm(
     summary: str,
     agreement_degree: Callable[[AgreementSpec], int] | None = None,
     uses_condition: bool = True,
+    async_factory: Callable[[AgreementSpec, ConditionOracle], Callable] | None = None,
 ):
     """Decorator registering a ``(spec, condition) -> algorithm`` builder."""
 
@@ -165,6 +174,7 @@ def register_algorithm(
                 agreement_degree=agreement_degree or (lambda spec: spec.k),
                 summary=summary,
                 uses_condition=uses_condition,
+                async_factory=async_factory,
             ),
         )
         return build

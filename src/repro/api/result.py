@@ -70,6 +70,10 @@ class RunResult:
     #: The crash schedule that was applied (``None`` on the async backend when
     #: crashes were injected directly).
     schedule: CrashSchedule | None = None
+    #: Short digest of the asynchronous interleaving (``None`` on the sync
+    #: backend): two async runs interleaved identically exactly when their
+    #: fingerprints match, which is how batch/store records prove parity.
+    fingerprint: str | None = None
     #: Full synchronous trace when one was recorded.
     trace: ExecutionTrace | None = None
     #: The backend-native result object.
@@ -170,6 +174,7 @@ class RunResult:
             "schedule": (
                 None if self.schedule is None else self.schedule.to_records()
             ),
+            "fingerprint": self.fingerprint,
         }
 
     @classmethod
@@ -199,6 +204,8 @@ class RunResult:
                 in_condition=record["in_condition"],
                 condition=record["condition"],
                 schedule=schedule,
+                # .get(): records written before fingerprints existed reload fine.
+                fingerprint=record.get("fingerprint"),
             )
         except (KeyError, TypeError, AttributeError) as error:
             raise InvalidParameterError(
@@ -261,6 +268,7 @@ class RunResult:
             in_condition=in_condition,
             condition=condition,
             schedule=schedule,
+            fingerprint=result.fingerprint or None,
             trace=None,
             raw=result,
         )

@@ -211,6 +211,13 @@ class RunConfig:
         synchronous backend.
     max_steps_per_process:
         Step budget per process on the asynchronous backend.
+    async_adversary:
+        Default scheduling strategy of the asynchronous backend, by registry
+        name (:data:`repro.asynchronous.ASYNC_ADVERSARIES`).  The default,
+        ``"random"``, is the classical seeded interleaver (the run's seed
+        feeds it); ``"round-robin"`` and ``"latency-skew"`` are the regular
+        and speed-skewed strategies.  An explicit adversary passed to the
+        engine always wins.
     chunk_size:
         Number of runs processed per chunk by :meth:`repro.api.Engine.run_batch`.
     workers:
@@ -227,6 +234,7 @@ class RunConfig:
     seed: int = 0
     record_trace: bool = False
     max_steps_per_process: int = 200
+    async_adversary: str = "random"
     chunk_size: int = 64
     workers: int = 1
 
@@ -243,6 +251,14 @@ class RunConfig:
             )
         if self.chunk_size < 1:
             raise InvalidParameterError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        # Unknown strategy names fail at construction, not at the first run.
+        from ..asynchronous.adversary import ASYNC_ADVERSARIES
+
+        if self.async_adversary not in ASYNC_ADVERSARIES:
+            raise InvalidParameterError(
+                f"unknown async adversary {self.async_adversary!r}; registered "
+                f"strategies: {', '.join(sorted(ASYNC_ADVERSARIES))}"
+            )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise InvalidParameterError(f"workers must be an integer >= 1, got {self.workers!r}")
 

@@ -1,16 +1,52 @@
 """Asynchronous shared-memory substrate (the model of Section 4).
 
-Atomic single-writer registers with snapshots, step-based processes and an
-adversarial scheduler that models crashes as processes never scheduled again.
+Atomic single-writer registers with snapshots, step-based processes, a
+deterministic adversary subsystem (pluggable scheduling strategies, crash
+points mid-execution, the enumerated bounded-interleaving space) and a
+batched executor that reuses one substrate across the runs of a batch.
 """
 
+from .adversary import (
+    ASYNC_ADVERSARIES,
+    AsyncAdversary,
+    CrashAtStepAdversary,
+    EnumeratedAdversary,
+    LatencySkewAdversary,
+    RoundRobinAdversary,
+    SeededRandomAdversary,
+    available_async_adversaries,
+    count_interleavings,
+    enumerate_interleavings,
+    register_async_adversary,
+    resolve_async_adversary,
+)
+from .executor import AsyncExecutor, ProcessFactory
 from .process import AsynchronousProcess
-from .scheduler import AsyncExecutionResult, AsynchronousScheduler
+from .scheduler import (
+    AsyncExecutionResult,
+    AsynchronousScheduler,
+    interleaving_fingerprint,
+)
 from .shared_memory import SharedMemory
 
 __all__ = [
+    "ASYNC_ADVERSARIES",
+    "AsyncAdversary",
     "AsyncExecutionResult",
+    "AsyncExecutor",
     "AsynchronousProcess",
     "AsynchronousScheduler",
+    "CrashAtStepAdversary",
+    "EnumeratedAdversary",
+    "LatencySkewAdversary",
+    "ProcessFactory",
+    "RoundRobinAdversary",
+    "SeededRandomAdversary",
     "SharedMemory",
+    "available_async_adversaries",
+    "count_interleavings",
+    "enumerate_interleavings",
+    "interleaving_fingerprint",
+    "register_async_adversary",
+    "resolve_async_adversary",
 ]

@@ -68,6 +68,24 @@ class AsynchronousProcess(ABC):
     def on_initialize(self, proposal: Any) -> None:
         """Hook for subclasses."""
 
+    def reset(self) -> None:
+        """Return the process to its pre-initialize state (batched execution).
+
+        The batched executor of :mod:`repro.asynchronous.executor` reuses one
+        process pool across the runs of a batch instead of reallocating it
+        per run; :meth:`reset` clears the per-execution state (proposal,
+        decision, step count) and gives subclasses the :meth:`on_reset` hook
+        for their own per-execution state (phases, cached views, ...).
+        """
+        self._proposal = None
+        self._decision = None
+        self._decided = False
+        self._steps_taken = 0
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        """Hook for subclasses: clear algorithm-specific per-execution state."""
+
     def step(self) -> None:
         """Execute one atomic step (called by the scheduler)."""
         if self._decided:

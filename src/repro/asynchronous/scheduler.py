@@ -1,30 +1,47 @@
 """Asynchronous scheduler: adversarial interleavings with crash failures.
 
-The scheduler owns the only source of non-determinism of the asynchronous
-model: which live process takes the next atomic step.  Crashes are modelled by
-simply never scheduling a process again after its crash point — from the other
-processes' perspective this is indistinguishable from the process being very
-slow, which is exactly why asynchronous agreement is hard.
+The scheduler owns the two sources of non-determinism of the asynchronous
+model — which live process takes the next atomic step, and when a faulty
+process stops being scheduled — and delegates both to a pluggable
+:class:`~repro.asynchronous.adversary.AsyncAdversary` strategy plus explicit
+*crash points*.  A crash point ``pid -> s`` lets the process take ``s``
+atomic steps (its writes land and stay visible in later snapshots) before it
+silently vanishes; ``s = 0`` is the classical initial crash.  From the other
+processes' perspective a vanished process is indistinguishable from a very
+slow one, which is exactly why asynchronous agreement is hard.
 
 Because ``l``-set agreement is unsolvable in an asynchronous system with
 ``l <= x`` crashes when all input vectors are possible, executions may
-legitimately not terminate.  The scheduler therefore runs for a bounded number
-of steps and reports whether all live processes decided; the property checkers
-and experiment E12 interpret the outcome (a run that exhausts its step budget
+legitimately not terminate.  The scheduler therefore enforces a **per-process
+step budget** (``max_steps_per_process`` — no process ever takes more steps,
+so a spinning process cannot starve the rest whatever the strategy does) and
+reports whether all live processes decided; the property oracles and
+experiments E12/E15 interpret the outcome (a run that exhausts its budget
 without deciding is evidence of blocking, not an error of the substrate).
+
+Every execution is deterministic given its adversary, and the result carries
+the full step sequence plus a short *fingerprint* of the interleaving, so two
+runs can be compared (and parallel batches proven identical) by record.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Iterable, Mapping, Sequence
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import AdversaryError, InvalidParameterError
+from .adversary import AsyncAdversary, resolve_async_adversary
 from .process import AsynchronousProcess
-from .shared_memory import SharedMemory
 
-__all__ = ["AsyncExecutionResult", "AsynchronousScheduler"]
+__all__ = ["AsyncExecutionResult", "AsynchronousScheduler", "interleaving_fingerprint"]
+
+
+def interleaving_fingerprint(step_sequence: Sequence[int]) -> str:
+    """A short stable digest of one interleaving (the scheduled pid sequence)."""
+    payload = ",".join(map(str, step_sequence)).encode("ascii")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
 
 
 @dataclass
@@ -36,12 +53,26 @@ class AsyncExecutionResult:
     decisions: dict[int, Any] = field(default_factory=dict)
     #: Mapping process id -> number of atomic steps it had taken when it decided.
     decision_steps: dict[int, int] = field(default_factory=dict)
-    #: Processes that were crashed by the scheduler.
+    #: Processes the adversary crashed (initially or mid-execution) that never
+    #: decided; a process that decided before reaching its crash point is correct.
     crashed: frozenset[int] = frozenset()
     #: Total number of atomic steps granted by the scheduler.
     total_steps: int = 0
     #: ``True`` when every live (non-crashed) process decided within the budget.
-    terminated: bool = True
+    #: Defaults to ``False``: a zero-step or partially-populated result must
+    #: read as a *non*-termination, the scheduler sets it from the live check.
+    terminated: bool = False
+    #: Mapping process id -> atomic steps the scheduler granted it.
+    steps_by_process: dict[int, int] = field(default_factory=dict)
+    #: The scheduled process id of every step, in order (the interleaving).
+    step_sequence: tuple[int, ...] = ()
+    #: Short digest of :attr:`step_sequence` — two executions interleaved
+    #: identically exactly when their fingerprints match.
+    fingerprint: str = ""
+    #: The effective crash points applied (``pid -> steps before vanishing``).
+    crash_steps: dict[int, int] = field(default_factory=dict)
+    #: Display name of the adversary strategy that drove the execution.
+    adversary: str = ""
 
     def decided_values(self) -> frozenset[Any]:
         """The set of distinct decided values."""
@@ -63,83 +94,150 @@ class AsynchronousScheduler:
     Parameters
     ----------
     seed:
-        Seed of the pseudo-random interleaving (an explicit :class:`random.Random`
-        may be passed instead).  ``None`` gives a round-robin schedule, the
-        most regular interleaving.
+        Seed of the pseudo-random interleaving (an explicit
+        :class:`random.Random` may be passed instead).  Only consulted when
+        *adversary* is ``None``: a seed gives the seeded-random strategy,
+        ``None`` gives round-robin — the historical behaviour.
     max_steps_per_process:
-        Step budget per process; the total budget is ``n`` times this value.
+        **Per-process** step budget: no process is ever granted more than
+        this many atomic steps, so one spinning process cannot starve the
+        others whatever the adversary does.
+    adversary:
+        The scheduling strategy: an :class:`AsyncAdversary` instance, a
+        registry name (``"round-robin"``, ``"random"``, ``"latency-skew"``),
+        or ``None`` to derive one from *seed* as above.
     """
 
     def __init__(
         self,
         seed: Random | int | None = None,
         max_steps_per_process: int = 1000,
+        adversary: AsyncAdversary | str | None = None,
     ) -> None:
         if max_steps_per_process < 1:
             raise InvalidParameterError(
                 f"max_steps_per_process must be >= 1, got {max_steps_per_process}"
             )
-        if seed is None:
-            self._rng: Random | None = None
-        elif isinstance(seed, Random):
-            self._rng = seed
-        else:
-            self._rng = Random(seed)
+        self._adversary = resolve_async_adversary(adversary, seed)
         self._max_steps_per_process = max_steps_per_process
+
+    @property
+    def adversary(self) -> AsyncAdversary:
+        """The scheduling strategy driving the interleaving."""
+        return self._adversary
 
     def run(
         self,
         processes: Sequence[AsynchronousProcess],
         proposals: Mapping[int, Any] | Sequence[Any],
         crashed: Iterable[int] = (),
+        crash_steps: Mapping[int, int] | None = None,
     ) -> AsyncExecutionResult:
-        """Run the processes on *proposals*, never scheduling the *crashed* ones.
+        """Run the processes on *proposals* under the adversary's interleaving.
 
-        Crashed processes take no step at all (the worst case for the others:
-        their proposal never reaches the shared memory, so at most ``n − f``
-        entries of any snapshot are filled).
+        *crashed* processes never take a step (crash point ``0``, the worst
+        case for the others: their proposal never reaches the shared memory).
+        *crash_steps* maps process ids to **mid-execution** crash points: the
+        process takes that many atomic steps — its writes stay visible in
+        later snapshots — and then vanishes.  Explicit crash points override
+        both *crashed* and any points carried by the adversary strategy.
         """
         n = len(processes)
-        crashed_set = frozenset(crashed)
-        for pid in crashed_set:
-            if not 0 <= pid < n:
-                raise InvalidParameterError(f"crashed process {pid} outside [0, {n})")
+        effective = self._effective_crash_steps(n, crashed, crash_steps)
 
         for process in processes:
-            value = (
-                proposals[process.process_id]
-                if isinstance(proposals, Mapping)
-                else proposals[process.process_id]
-            )
+            pid = process.process_id
+            try:
+                value = proposals[pid]
+            except (KeyError, IndexError):
+                kind = "mapping" if isinstance(proposals, Mapping) else "sequence"
+                raise InvalidParameterError(
+                    f"no proposal for process {pid} in the proposals {kind}"
+                ) from None
             process.initialize(value)
 
-        result = AsyncExecutionResult(n=n, crashed=crashed_set)
-        budget = self._max_steps_per_process * n
-        live = [
-            process
-            for process in processes
-            if process.process_id not in crashed_set
-        ]
+        steps_by_process = {process.process_id: 0 for process in processes}
+        sequence: list[int] = []
+        by_pid = {process.process_id: process for process in processes}
+        budget = self._max_steps_per_process
+        adversary = self._adversary
+        adversary.reset()
 
-        steps = 0
-        index = 0
-        while steps < budget:
-            runnable = [process for process in live if not process.has_decided()]
+        def runnable_pids() -> list[int]:
+            pids = []
+            for process in processes:
+                pid = process.process_id
+                if process.has_decided():
+                    continue
+                taken = steps_by_process[pid]
+                if taken >= budget:
+                    continue  # per-process budget exhausted
+                if pid in effective and taken >= effective[pid]:
+                    continue  # crash point reached: the process vanished
+                pids.append(pid)
+            return pids
+
+        result = AsyncExecutionResult(n=n)
+        while True:
+            runnable = runnable_pids()
             if not runnable:
                 break
-            if self._rng is None:
-                process = runnable[index % len(runnable)]
-                index += 1
-            else:
-                process = self._rng.choice(runnable)
+            pid = adversary.choose(runnable, len(sequence))
+            if pid not in runnable:
+                raise AdversaryError(
+                    f"adversary {adversary.name!r} chose process {pid!r}, "
+                    f"which is not runnable (runnable: {runnable})"
+                )
+            process = by_pid[pid]
             process.step()
-            steps += 1
+            steps_by_process[pid] += 1
+            sequence.append(pid)
             if process.has_decided():
-                result.decisions[process.process_id] = process.decision
-                result.decision_steps[process.process_id] = process.steps_taken
+                result.decisions[pid] = process.decision
+                result.decision_steps[pid] = process.steps_taken
 
-        result.total_steps = steps
+        # A process the adversary doomed is crashed unless it decided before
+        # reaching its crash point; every other process is live, and the run
+        # terminated exactly when all live processes decided.
+        crashed_set = frozenset(
+            pid for pid in effective if pid not in result.decisions
+        )
+        result.crashed = crashed_set
+        result.total_steps = len(sequence)
+        result.steps_by_process = steps_by_process
+        result.step_sequence = tuple(sequence)
+        result.fingerprint = interleaving_fingerprint(sequence)
+        result.crash_steps = dict(effective)
+        result.adversary = adversary.name
         result.terminated = all(
-            process.has_decided() for process in live
+            process.has_decided()
+            for process in processes
+            if process.process_id not in crashed_set
         )
         return result
+
+    def _effective_crash_steps(
+        self,
+        n: int,
+        crashed: Iterable[int],
+        crash_steps: Mapping[int, int] | None,
+    ) -> dict[int, int]:
+        """Merge the crash points: adversary-carried < *crashed* < explicit."""
+        effective: dict[int, int] = {}
+        for pid, step in self._adversary.crash_steps().items():
+            effective[int(pid)] = step
+        for pid in crashed:
+            effective[pid] = 0
+        if crash_steps is not None:
+            for pid, step in crash_steps.items():
+                effective[pid] = step
+        for pid, step in effective.items():
+            if not isinstance(pid, int) or not 0 <= pid < n:
+                raise InvalidParameterError(
+                    f"crashed process {pid} outside [0, {n})"
+                )
+            if not isinstance(step, int) or step < 0:
+                raise InvalidParameterError(
+                    f"crash step of process {pid} must be an integer >= 0, got {step!r}"
+                )
+        return effective

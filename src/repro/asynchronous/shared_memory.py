@@ -51,6 +51,19 @@ class SharedMemory:
         """Number of processes (and of registers per array)."""
         return self._n
 
+    def reset(self) -> None:
+        """Return every register to ⊥ and zero the operation counters.
+
+        The batched executor reuses one memory across the runs of a batch
+        instead of allocating ``2n`` fresh registers per run; a reset memory
+        is indistinguishable from a newly constructed one.
+        """
+        for index in range(self._n):
+            self._proposals[index] = BOTTOM
+            self._decisions[index] = BOTTOM
+        self._write_count = 0
+        self._snapshot_count = 0
+
     @property
     def write_count(self) -> int:
         """Total number of register writes performed so far."""

@@ -23,16 +23,38 @@ The pieces:
   reports) and :func:`differential_check` (two algorithms on identical
   executions, decisions diffed);
 * :mod:`repro.check.mutants` — deliberately broken algorithms proving the
-  checker can fail.
+  checker can fail;
+* :mod:`repro.check.async_checker` / :mod:`repro.check.async_oracles` — the
+  asynchronous counterpart: every bounded interleaving prefix × every crash
+  assignment of the shared-memory model (closed form cross-validated),
+  evaluated by the Section 4 property oracles (validity, ``l``-agreement,
+  in-condition termination within budget, the per-process step budget).
 
 Entry points::
 
     report = Engine(spec, "condition-kset").check(workers=4)
     assert report.passed, report.render()
 
+    async_report = Engine(spec, "condition-kset").check(
+        backend="async", depth=3, workers=4
+    )
+
     diff = differential_check(spec, "condition-kset", "mutant-hasty-floodmin")
 """
 
+from .async_checker import (
+    AsyncCheckReport,
+    AsyncCounterexample,
+    check_async_slice,
+    count_async_adversaries,
+    enumerate_async_adversaries,
+    run_async_check,
+)
+from .async_oracles import (
+    ASYNC_ORACLES,
+    AsyncCheckContext,
+    default_async_oracle_names,
+)
 from .checker import (
     CheckReport,
     Counterexample,
@@ -44,24 +66,41 @@ from .checker import (
     run_check,
 )
 from .frontier import input_frontier
-from .mutants import MUTANT_HASTY_FLOODMIN, HastyFloodMin, register_mutants
+from .mutants import (
+    MUTANT_HASTY_ASYNC,
+    MUTANT_HASTY_FLOODMIN,
+    HastyAsyncProcess,
+    HastyFloodMin,
+    register_mutants,
+)
 from .oracles import ORACLES, CheckContext, PropertyOracle, default_oracle_names
 
 __all__ = [
+    "ASYNC_ORACLES",
+    "AsyncCheckContext",
+    "AsyncCheckReport",
+    "AsyncCounterexample",
     "CheckContext",
     "CheckReport",
     "Counterexample",
     "DecisionDiff",
     "DifferentialReport",
+    "HastyAsyncProcess",
     "HastyFloodMin",
+    "MUTANT_HASTY_ASYNC",
     "MUTANT_HASTY_FLOODMIN",
     "ORACLES",
     "OracleTally",
     "PropertyOracle",
+    "check_async_slice",
     "check_slice",
+    "count_async_adversaries",
+    "default_async_oracle_names",
     "default_oracle_names",
     "differential_check",
+    "enumerate_async_adversaries",
     "input_frontier",
     "register_mutants",
+    "run_async_check",
     "run_check",
 ]

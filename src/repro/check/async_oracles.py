@@ -1,0 +1,184 @@
+"""Asynchronous property oracles: one predicate per Section 4 claim.
+
+The synchronous oracles of :mod:`repro.check.oracles` speak in rounds; these
+speak in atomic steps over the shared-memory model.  Each oracle inspects one
+normalized :class:`~repro.api.RunResult` produced on the asynchronous backend
+and either passes or returns a human-readable violation detail; an
+applicability predicate keeps the same oracle set evaluable over every
+execution of the bounded-interleaving check.
+
+The registered oracles:
+
+=================================  ==================================================
+name                               claim (and when it applies)
+=================================  ==================================================
+``async-validity``                 every decided value was proposed (always applies)
+``async-agreement``                at most ``l`` distinct values are decided, where
+                                   ``l`` is the agreement degree of the Section 4
+                                   algorithm (always applies)
+``async-termination-in-condition`` every live process decides within its step
+                                   budget; applies when the input vector belongs to
+                                   the condition and at most ``x`` processes crash —
+                                   the Section 4 guarantee ("termination within
+                                   budget iff the input is in the condition": the
+                                   converse direction is not a theorem, an
+                                   outside-condition run may still decide when a
+                                   partial snapshot is completable into ``C``, so
+                                   only this direction is checkable per execution)
+``async-step-budget``              no process is granted more steps than the
+                                   per-process budget, and no crashed process steps
+                                   past its crash point; applies whenever the
+                                   backend-native result is available (always, for
+                                   engine-produced runs)
+=================================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..api.spec import AgreementSpec
+from ..asynchronous.scheduler import AsyncExecutionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.engine import Engine
+    from ..api.result import RunResult
+
+__all__ = [
+    "AsyncCheckContext",
+    "ASYNC_ORACLES",
+    "default_async_oracle_names",
+]
+
+
+@dataclass(frozen=True)
+class AsyncCheckContext:
+    """Everything the asynchronous oracles need to know about the instance."""
+
+    spec: AgreementSpec
+    algorithm: str
+    #: Distinct values the runs may decide (``l`` for the Section 4 algorithm).
+    degree: int
+    #: Crash resilience ``x = t − d`` of the condition.
+    x: int
+    #: The per-process step budget of the checked executions.
+    max_steps_per_process: int
+
+    @classmethod
+    def from_engine(cls, engine: "Engine") -> "AsyncCheckContext":
+        spec = engine.spec
+        return cls(
+            spec=spec,
+            algorithm=engine.algorithm_name,
+            degree=engine.agreement_degree("async"),
+            x=spec.x,
+            max_steps_per_process=engine.config.max_steps_per_process,
+        )
+
+
+def _always(context: AsyncCheckContext, result: "RunResult") -> bool:
+    return True
+
+
+def _check_validity(context: AsyncCheckContext, result: "RunResult") -> str | None:
+    proposed = set(result.input_vector.entries)
+    for process_id, value in sorted(result.decisions.items()):
+        if value not in proposed:
+            return f"process {process_id} decided {value!r}, which was never proposed"
+    return None
+
+
+def _check_agreement(context: AsyncCheckContext, result: "RunResult") -> str | None:
+    decided = result.decided_values()
+    if len(decided) > context.degree:
+        return (
+            f"{len(decided)} distinct values decided "
+            f"({sorted(map(repr, decided))}), but the agreement degree is "
+            f"{context.degree}"
+        )
+    return None
+
+
+def _applies_termination(context: AsyncCheckContext, result: "RunResult") -> bool:
+    return result.in_condition is True and len(result.crashed) <= context.x
+
+
+def _check_termination(context: AsyncCheckContext, result: "RunResult") -> str | None:
+    if not result.terminated:
+        undecided = sorted(result.correct_processes - set(result.decisions))
+        return (
+            f"in-condition input with {len(result.crashed)} <= x = {context.x} "
+            f"crashes did not terminate within the step budget; live "
+            f"process(es) {undecided} never decided"
+        )
+    return None
+
+
+def _applies_step_budget(context: AsyncCheckContext, result: "RunResult") -> bool:
+    return isinstance(result.raw, AsyncExecutionResult)
+
+
+def _check_step_budget(context: AsyncCheckContext, result: "RunResult") -> str | None:
+    raw: AsyncExecutionResult = result.raw
+    budget = context.max_steps_per_process
+    for pid, steps in sorted(raw.steps_by_process.items()):
+        if steps > budget:
+            return (
+                f"process {pid} was granted {steps} steps, beyond the "
+                f"per-process budget of {budget}"
+            )
+        crash_point = raw.crash_steps.get(pid)
+        if crash_point is not None and steps > crash_point:
+            return (
+                f"process {pid} took {steps} steps past its crash point "
+                f"of {crash_point}"
+            )
+    return None
+
+
+@dataclass(frozen=True)
+class AsyncPropertyOracle:
+    """One checkable asynchronous claim (mirrors the sync ``PropertyOracle``)."""
+
+    name: str
+    summary: str
+    applies: Callable[[AsyncCheckContext, "RunResult"], bool]
+    check: Callable[[AsyncCheckContext, "RunResult"], str | None]
+
+
+#: The asynchronous oracle registry, in evaluation (and report) order.
+ASYNC_ORACLES: dict[str, AsyncPropertyOracle] = {
+    oracle.name: oracle
+    for oracle in (
+        AsyncPropertyOracle(
+            "async-validity",
+            "every decided value was proposed",
+            _always,
+            _check_validity,
+        ),
+        AsyncPropertyOracle(
+            "async-agreement",
+            "at most l distinct values are decided",
+            _always,
+            _check_agreement,
+        ),
+        AsyncPropertyOracle(
+            "async-termination-in-condition",
+            "in-condition inputs with <= x crashes terminate within the budget",
+            _applies_termination,
+            _check_termination,
+        ),
+        AsyncPropertyOracle(
+            "async-step-budget",
+            "no process exceeds its step budget or steps past its crash point",
+            _applies_step_budget,
+            _check_step_budget,
+        ),
+    )
+}
+
+
+def default_async_oracle_names() -> tuple[str, ...]:
+    """Every registered asynchronous oracle name, in evaluation order."""
+    return tuple(ASYNC_ORACLES)

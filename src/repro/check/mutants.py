@@ -13,6 +13,14 @@ crash schedule (a round-1 crash delivering to a strict prefix) under which
 two correct processes decide different values with ``k = 1`` — the
 exhaustive checker finds it within the first few hundred schedules.
 
+:class:`HastyAsyncProcess` is the asynchronous sibling: it skips the
+``P(J)`` compatibility check of the Section 4 algorithm and decides the
+maximum of whatever ``n − x`` proposals its snapshot shows.  Two processes
+whose snapshots differ on the maximum then decide different values — a
+violation of ``l``-agreement that only *some* interleavings expose, which is
+exactly what the bounded-interleaving checker of
+:mod:`repro.check.async_checker` must find.
+
 Mutants are **not** registered at import time: they must never show up in
 ``repro algorithms`` or be runnable by accident.  Call
 :func:`register_mutants` (idempotent) to add them to the algorithm registry
@@ -22,13 +30,22 @@ replay.
 
 from __future__ import annotations
 
+from ..algorithms.async_condition_set_agreement import AsyncConditionSetAgreementProcess
 from ..algorithms.classic_kset import FloodMinKSetAgreement
 from ..api.registry import ALGORITHMS, AlgorithmEntry
 
-__all__ = ["HastyFloodMin", "MUTANT_HASTY_FLOODMIN", "register_mutants"]
+__all__ = [
+    "HastyFloodMin",
+    "HastyAsyncProcess",
+    "MUTANT_HASTY_FLOODMIN",
+    "MUTANT_HASTY_ASYNC",
+    "register_mutants",
+]
 
 #: Registry key of the hasty FloodMin mutant (after :func:`register_mutants`).
 MUTANT_HASTY_FLOODMIN = "mutant-hasty-floodmin"
+#: Registry key of the hasty asynchronous mutant (after :func:`register_mutants`).
+MUTANT_HASTY_ASYNC = "mutant-hasty-async"
 
 
 class HastyFloodMin(FloodMinKSetAgreement):
@@ -48,6 +65,31 @@ class HastyFloodMin(FloodMinKSetAgreement):
         return max(1, super().decision_round() - 1)
 
 
+class HastyAsyncProcess(AsyncConditionSetAgreementProcess):
+    """Section 4 process that skips the ``P(J)`` check — deliberately broken.
+
+    The real algorithm only decides when its snapshot is *compatible* with
+    the condition (completable into a vector of ``C``), which is what makes
+    the decoded sets of different snapshots agree.  The mutant decides
+    ``max(J)`` as soon as ``J`` holds ``n − x`` proposals: under an
+    interleaving where one snapshot misses the globally largest proposal and
+    another sees it, two processes decide different values — an
+    ``l``-agreement violation on a strict subset of the interleavings.
+    """
+
+    def execute_step(self) -> None:
+        if self.phase == self._PHASE_WRITE:
+            self.memory.write_proposal(self.process_id, self.proposal)
+            self._phase = self._PHASE_SNAPSHOT
+            return
+        view = self.memory.snapshot_proposals()
+        if view.non_bottom_count() < self.n - self.x:
+            return  # not enough proposals visible yet
+        value = view.max_value()
+        self.memory.write_decision(self.process_id, value)
+        self.decide(value)
+
+
 def register_mutants() -> tuple[str, ...]:
     """Register the mutant algorithms (idempotent); returns their keys."""
     if MUTANT_HASTY_FLOODMIN not in ALGORITHMS:
@@ -62,4 +104,24 @@ def register_mutants() -> tuple[str, ...]:
                 uses_condition=False,
             ),
         )
-    return (MUTANT_HASTY_FLOODMIN,)
+    if MUTANT_HASTY_ASYNC not in ALGORITHMS:
+        ALGORITHMS.add(
+            MUTANT_HASTY_ASYNC,
+            AlgorithmEntry(
+                name=MUTANT_HASTY_ASYNC,
+                backends=frozenset({"async"}),
+                build=lambda spec, condition: None,
+                agreement_degree=lambda spec: spec.ell,
+                summary=(
+                    "deliberately broken Section 4 process (skips the P(J) "
+                    "check) — async checker self-test"
+                ),
+                uses_condition=True,
+                async_factory=lambda spec, condition: (
+                    lambda pid, n, memory: HastyAsyncProcess(
+                        pid, n, memory, condition, spec.x
+                    )
+                ),
+            ),
+        )
+    return (MUTANT_HASTY_FLOODMIN, MUTANT_HASTY_ASYNC)

@@ -16,11 +16,13 @@ demonstrations without writing any Python::
     repro demo --condition min-legal             # same spec, another family
     repro demo --algorithm floodmin --crashes 3  # the classical baseline
     repro demo --backend async                   # same spec, shared memory
+    repro demo --backend async --adversary latency-skew   # another interleaver
     repro demo --runs 16 --workers 4             # a parallel batch of runs
     repro sweep --grid d=1,2,3 --grid k=1,2 --workers 4 --store cells.jsonl
     repro check --n 4 --t 1 --d 1 --k 1          # verify EVERY crash schedule
     repro check --n 4 --t 2 --k 2 --d 1 --workers 4 --store ce.jsonl
     repro check --n 3 --t 1 --k 1 --d 1 --differential floodmin
+    repro check --backend async --n 3 --t 1 --d 0 --m 2 --depth 2  # every bounded interleaving
 
 Every execution goes through the unified :class:`repro.api.Engine`, so the
 ``demo`` command accepts any registered algorithm on any backend it supports,
@@ -53,6 +55,7 @@ from .api import (
     available_algorithms,
     available_conditions,
 )
+from .asynchronous.adversary import available_async_adversaries
 from .core.lattice import ConditionLattice
 from .workloads.vectors import vector_in_condition, vector_in_max_condition
 
@@ -165,6 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default sync)",
     )
     demo_parser.add_argument(
+        "--adversary",
+        default="random",
+        choices=available_async_adversaries(),
+        help="async scheduling strategy (async backend only; default random)",
+    )
+    demo_parser.add_argument(
         "--condition",
         default="max-legal",
         choices=available_conditions(),
@@ -234,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (default sync)",
     )
     sweep_parser.add_argument(
+        "--adversary",
+        default="random",
+        choices=available_async_adversaries(),
+        help="async scheduling strategy (async backend only; default random)",
+    )
+    sweep_parser.add_argument(
         "--schedule",
         default="none",
         help="adversary schedule name applied to every run (default none)",
@@ -255,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_parser = subparsers.add_parser(
         "check", help="exhaustively verify an algorithm over every crash schedule"
+    )
+    check_parser.add_argument(
+        "--backend",
+        default="sync",
+        choices=("sync", "async"),
+        help=(
+            "which adversary space to enumerate: sync crash schedules or "
+            "async bounded interleavings (default sync)"
+        ),
     )
     check_parser.add_argument("--n", type=int, default=4)
     check_parser.add_argument("--t", type=int, default=1)
@@ -285,7 +309,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--rounds",
         type=int,
         default=None,
-        help="deepest crash round enumerated (default: the ⌊t/k⌋+1 deadline)",
+        help="deepest crash round enumerated (sync only; default: the ⌊t/k⌋+1 deadline)",
+    )
+    check_parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="adversarial interleaving-prefix length (async only; default n)",
+    )
+    check_parser.add_argument(
+        "--max-crashes",
+        type=int,
+        default=None,
+        help="largest enumerated faulty-set size (async only; default x = t − d)",
     )
     check_parser.add_argument(
         "--workers",
@@ -489,6 +525,7 @@ def _command_demo(arguments) -> int:
         crashes=crashes,
         seed=seed,
         record_trace=backend == "sync" and runs == 1,
+        async_adversary=arguments.adversary,
         workers=workers,
     )
     engine = Engine(spec, algorithm, config)
@@ -561,6 +598,7 @@ def _command_sweep(arguments) -> int:
         schedule=arguments.schedule,
         crashes=arguments.crashes,
         seed=arguments.seed,
+        async_adversary=arguments.adversary,
         workers=arguments.workers,
     )
     engine = Engine(spec, arguments.algorithm, config)
@@ -614,6 +652,10 @@ def _command_check(arguments) -> int:
     if arguments.differential is not None:
         from .check import differential_check
 
+        if arguments.backend != "sync":
+            raise InvalidParameterError(
+                "--differential drives the synchronous backend only"
+            )
         if arguments.differential not in available_algorithms():
             raise InvalidParameterError(
                 f"unknown algorithm {arguments.differential!r}; known: "
@@ -648,7 +690,10 @@ def _command_check(arguments) -> int:
         store = ResultStore(arguments.store)
     engine = Engine(spec, arguments.algorithm, RunConfig(workers=arguments.workers))
     report = engine.check(
+        backend=arguments.backend,
         rounds=arguments.rounds,
+        depth=arguments.depth,
+        max_crashes=arguments.max_crashes,
         store=store,
         max_counterexamples=arguments.max_counterexamples,
         max_vectors=arguments.max_vectors,
@@ -656,9 +701,11 @@ def _command_check(arguments) -> int:
     )
     print(report.render())
     if store is not None:
+        counts = store.counts()
+        kind = "async-counterexample" if arguments.backend == "async" else "counterexample"
         print(
             f"store            : {store.path} "
-            f"({store.counts().get('counterexample', 0)} counterexample records)"
+            f"({counts.get(kind, 0)} {kind} records)"
         )
     return 0 if report.passed else 1
 

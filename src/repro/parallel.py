@@ -47,10 +47,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us lazily)
     from .api.engine import Engine, SweepCell
     from .api.result import RunResult
     from .api.spec import AgreementSpec, RunConfig
+    from .check.async_checker import AsyncCounterexample
     from .check.checker import Counterexample, OracleTally
     from .store import ResultStore
 
 __all__ = [
+    "AsyncCheckShard",
+    "AsyncCheckOutcome",
     "BatchChunk",
     "CellTask",
     "CheckShard",
@@ -59,6 +62,7 @@ __all__ = [
     "execute_batch",
     "execute_sweep",
     "execute_check",
+    "execute_async_check",
 ]
 
 #: Outstanding tasks kept in flight per worker: enough to hide scheduling
@@ -79,6 +83,10 @@ class BatchChunk:
     backend: str
     index: int
     runs: tuple[tuple[InputVector, CrashSchedule, int], ...]
+    #: Async-backend knobs, applied to every run of the chunk.  The adversary
+    #: travels as a registry name (strategy objects stay in the parent).
+    async_adversary: str | None = None
+    crash_steps: tuple[tuple[int, int], ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -94,6 +102,8 @@ class CellTask:
     runs_per_cell: int
     vectors: str
     schedule: CrashSchedule | str | None
+    async_adversary: str | None = None
+    crash_steps: tuple[tuple[int, int], ...] | None = None
 
 
 @dataclass
@@ -141,6 +151,43 @@ class CheckOutcome:
     stats: dict[str, tuple[int, int]]
 
 
+@dataclass(frozen=True)
+class AsyncCheckShard:
+    """One contiguous slice of the bounded-interleaving adversary space.
+
+    ``[start, stop)`` indexes into the deterministic stream of
+    :func:`repro.check.async_checker.enumerate_async_adversaries`; the
+    worker re-derives the adversaries from the indices, exactly like the
+    synchronous :class:`CheckShard` re-derives its schedules.
+    """
+
+    spec: "AgreementSpec"
+    algorithm: str
+    config: "RunConfig"
+    depth: int
+    max_crashes: int
+    start: int
+    #: ``None`` on the final shard: it reads the stream to exhaustion so an
+    #: over-producing generator is caught by the closed-form cross-check.
+    stop: int | None
+    vectors: tuple[InputVector, ...]
+    oracle_names: tuple[str, ...]
+    max_counterexamples: int
+    index: int
+
+
+@dataclass
+class AsyncCheckOutcome:
+    """What a worker sends back for one async check shard."""
+
+    index: int
+    enumerated: int
+    executions: int
+    tallies: list["OracleTally"]
+    counterexamples: list["AsyncCounterexample"]
+    stats: dict[str, tuple[int, int]]
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -168,8 +215,12 @@ def _execute_chunk(chunk: BatchChunk) -> ChunkOutcome:
     """Run one staged chunk in the worker and report results + stat deltas."""
     engine = _worker_engine(chunk.spec, chunk.algorithm, chunk.config)
     before = _stats_snapshot(engine)
+    crash_steps = None if chunk.crash_steps is None else dict(chunk.crash_steps)
     results = [
-        engine._execute(vector, schedule, seed, chunk.backend, None)
+        engine._execute(
+            vector, schedule, seed, chunk.backend, None,
+            async_adversary=chunk.async_adversary, crash_steps=crash_steps,
+        )
         for vector, schedule, seed in chunk.runs
     ]
     after = _stats_snapshot(engine)
@@ -190,6 +241,8 @@ def _execute_cell(task: CellTask) -> "SweepCell":
         task.vectors,
         task.schedule,
         task.backend,
+        task.async_adversary,
+        None if task.crash_steps is None else dict(task.crash_steps),
     )
 
 
@@ -224,6 +277,39 @@ def _execute_check_shard(shard: CheckShard) -> CheckOutcome:
     return CheckOutcome(shard.index, enumerated, executions, tallies, counterexamples, deltas)
 
 
+def _execute_async_check_shard(shard: AsyncCheckShard) -> AsyncCheckOutcome:
+    """Check one async adversary slice in the worker (same code path as serial)."""
+    from .api.registry import ALGORITHMS
+    from .check.async_checker import check_async_slice
+
+    if shard.algorithm not in ALGORITHMS:
+        # Mutants are registered at runtime (never at import); re-run the
+        # idempotent registration in spawned/forkserver workers.
+        from .check.mutants import register_mutants
+
+        register_mutants()
+    engine = _worker_engine(shard.spec, shard.algorithm, shard.config)
+    before = _stats_snapshot(engine)
+    enumerated, executions, tallies, counterexamples = check_async_slice(
+        engine,
+        shard.depth,
+        shard.max_crashes,
+        shard.start,
+        shard.stop,
+        shard.vectors,
+        shard.oracle_names,
+        shard.max_counterexamples,
+    )
+    after = _stats_snapshot(engine)
+    deltas = {
+        name: (hits - before[name][0], misses - before[name][1])
+        for name, (hits, misses) in after.items()
+    }
+    return AsyncCheckOutcome(
+        shard.index, enumerated, executions, tallies, counterexamples, deltas
+    )
+
+
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
@@ -234,6 +320,8 @@ def execute_batch(
     workers: int,
     *,
     store: "ResultStore | None" = None,
+    async_adversary: str | None = None,
+    crash_steps: Mapping[int, int] | None = None,
 ) -> Iterator["RunResult"]:
     """Stream a staged batch through a process pool, in batch order.
 
@@ -246,6 +334,9 @@ def execute_batch(
     persists each result first.
     """
     window = SUBMIT_WINDOW_PER_WORKER * workers
+    frozen_crash_steps = (
+        None if crash_steps is None else tuple(sorted(crash_steps.items()))
+    )
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending: dict[int, "Future[ChunkOutcome]"] = {}
         next_to_submit = 0
@@ -264,6 +355,8 @@ def execute_batch(
                     backend=backend,
                     index=next_to_submit,
                     runs=tuple(staged),
+                    async_adversary=async_adversary,
+                    crash_steps=frozen_crash_steps,
                 )
                 pending[next_to_submit] = pool.submit(_execute_chunk, chunk)
                 next_to_submit += 1
@@ -286,12 +379,18 @@ def execute_sweep(
     schedule: CrashSchedule | str | None,
     backend: str | None,
     workers: int,
+    *,
+    async_adversary: str | None = None,
+    crash_steps: Mapping[int, int] | None = None,
 ) -> Iterator["SweepCell"]:
     """Shard the sweep's cells across a process pool, yielding in cell order.
 
     Cells are yielded as :meth:`Executor.map` hands them over, so the caller
     can persist each one before the sweep finishes.
     """
+    frozen_crash_steps = (
+        None if crash_steps is None else tuple(sorted(crash_steps.items()))
+    )
     tasks = [
         CellTask(
             spec=engine.spec,
@@ -303,6 +402,8 @@ def execute_sweep(
             runs_per_cell=runs_per_cell,
             vectors=vectors,
             schedule=schedule,
+            async_adversary=async_adversary,
+            crash_steps=frozen_crash_steps,
         )
         for index, overrides in enumerate(combos)
     ]
@@ -353,5 +454,49 @@ def execute_check(
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         for outcome in pool.map(_execute_check_shard, shards):
+            engine._absorb_worker_stats(outcome.stats)
+            yield outcome
+
+
+def execute_async_check(
+    engine: "Engine",
+    depth: int,
+    max_crashes: int,
+    adversary_count: int,
+    vectors: tuple[InputVector, ...],
+    oracle_names: tuple[str, ...],
+    workers: int,
+    max_counterexamples: int,
+) -> Iterator[AsyncCheckOutcome]:
+    """Shard the bounded-interleaving adversary space across a process pool.
+
+    Same contract as :func:`execute_check`, over the asynchronous space:
+    ``[0, adversary_count)`` is cut into contiguous index ranges, outcomes
+    are yielded **in shard order**, the final shard reads to exhaustion so an
+    over-producing generator is detected, and worker cache-stat deltas are
+    merged into *engine* before each outcome is handed over — which is what
+    makes the merged report byte-identical to the serial one.
+    """
+    shard_target = max(1, workers * SUBMIT_WINDOW_PER_WORKER)
+    shard_size = max(1, -(-adversary_count // shard_target))
+    starts = list(range(0, adversary_count, shard_size))
+    shards = [
+        AsyncCheckShard(
+            spec=engine.spec,
+            algorithm=engine.algorithm_name,
+            config=engine.config,
+            depth=depth,
+            max_crashes=max_crashes,
+            start=start,
+            stop=None if start == starts[-1] else start + shard_size,
+            vectors=vectors,
+            oracle_names=oracle_names,
+            max_counterexamples=max_counterexamples,
+            index=index,
+        )
+        for index, start in enumerate(starts)
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for outcome in pool.map(_execute_async_check_shard, shards):
             engine._absorb_worker_stats(outcome.stats)
             yield outcome

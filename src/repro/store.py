@@ -7,7 +7,7 @@ records as **append-only JSON Lines**: one self-describing JSON object per
 line, written and flushed as each result completes, so a killed process
 loses at most the record being written.
 
-Three record kinds are stored:
+Four record kinds are stored:
 
 * ``"run"`` — one :class:`~repro.api.RunResult`, serialized through
   :meth:`~repro.api.RunResult.to_record` (everything round-trips except the
@@ -21,7 +21,12 @@ Three record kinds are stored:
   through :meth:`~repro.check.Counterexample.replay` after reloading with
   :meth:`ResultStore.load_counterexamples`.  A counterexample record is the
   durable form of a found bug — the workflow is to commit the store file as
-  a regression fixture and replay it in a test.
+  a regression fixture and replay it in a test;
+* ``"async-counterexample"`` — the asynchronous sibling: one
+  :class:`~repro.check.AsyncCounterexample` found by the bounded-interleaving
+  checker (``Engine.check(backend="async", store=...)``), carrying the
+  interleaving prefix and crash points, reloadable with
+  :meth:`ResultStore.load_async_counterexamples` and replayable the same way.
 
 The engine integrates the store directly — ``run_batch(..., store=...)`` /
 ``iter_batch(..., store=...)`` append every result as it is produced and
@@ -54,14 +59,22 @@ from .exceptions import StoreError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .api.engine import SweepCell
     from .api.result import RunResult
+    from .check.async_checker import AsyncCounterexample
     from .check.checker import Counterexample
 
-__all__ = ["ResultStore", "RUN_KIND", "CELL_KIND", "COUNTEREXAMPLE_KIND"]
+__all__ = [
+    "ResultStore",
+    "RUN_KIND",
+    "CELL_KIND",
+    "COUNTEREXAMPLE_KIND",
+    "ASYNC_COUNTEREXAMPLE_KIND",
+]
 
 #: Record kinds written by the store.
 RUN_KIND = "run"
 CELL_KIND = "cell"
 COUNTEREXAMPLE_KIND = "counterexample"
+ASYNC_COUNTEREXAMPLE_KIND = "async-counterexample"
 
 
 def _json_default(value: Any) -> Any:
@@ -179,6 +192,14 @@ class ResultStore:
         record["kind"] = COUNTEREXAMPLE_KIND
         self._write_lines([record])
 
+    def append_async_counterexample(
+        self, counterexample: "AsyncCounterexample"
+    ) -> None:
+        """Persist one bounded-interleaving counterexample (flushed immediately)."""
+        record = counterexample.to_record()
+        record["kind"] = ASYNC_COUNTEREXAMPLE_KIND
+        self._write_lines([record])
+
     # -- reading -----------------------------------------------------------
     def iter_records(self) -> Iterator[dict[str, Any]]:
         """Yield every record of the file as a dict, in write order."""
@@ -267,6 +288,23 @@ class ResultStore:
                 counterexamples.append(Counterexample.from_record(record))
             except (KeyError, TypeError, ReproError) as error:
                 raise StoreError(f"malformed counterexample record: {error!r}") from error
+        return counterexamples
+
+    def load_async_counterexamples(self) -> list["AsyncCounterexample"]:
+        """Rebuild every ``"async-counterexample"`` record (replayable violations)."""
+        from .check.async_checker import AsyncCounterexample
+        from .exceptions import ReproError
+
+        counterexamples: list[AsyncCounterexample] = []
+        for record in self.iter_records():
+            if record["kind"] != ASYNC_COUNTEREXAMPLE_KIND:
+                continue
+            try:
+                counterexamples.append(AsyncCounterexample.from_record(record))
+            except (KeyError, TypeError, ReproError) as error:
+                raise StoreError(
+                    f"malformed async counterexample record: {error!r}"
+                ) from error
         return counterexamples
 
     def resume_index(self) -> int:

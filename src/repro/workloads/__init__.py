@@ -1,8 +1,10 @@
 """Workload generators: input vectors and end-to-end scenarios."""
 
 from .scenarios import (
+    AsyncScenario,
     ExhaustiveScenario,
     Scenario,
+    async_scenario,
     condition_family_scenario,
     degraded_path_scenario,
     exhaustive_scenario,
@@ -21,8 +23,10 @@ from .vectors import (
 )
 
 __all__ = [
+    "AsyncScenario",
     "ExhaustiveScenario",
     "Scenario",
+    "async_scenario",
     "boundary_vector",
     "condition_family_scenario",
     "degraded_path_scenario",

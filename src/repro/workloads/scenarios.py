@@ -27,7 +27,9 @@ from .vectors import (
 
 __all__ = [
     "Scenario",
+    "AsyncScenario",
     "ExhaustiveScenario",
+    "async_scenario",
     "condition_family_scenario",
     "exhaustive_scenario",
     "fast_path_scenario",
@@ -252,6 +254,146 @@ def condition_family_scenario(
         ),
         condition_name=family,
         condition_params=spec.condition_params,
+    )
+
+
+@dataclass(frozen=True)
+class AsyncScenario:
+    """An asynchronous story: a vector, an adversary strategy, crash points.
+
+    The asynchronous counterpart of :class:`Scenario`: instead of a crash
+    *schedule* it bundles a scheduling *strategy* (a registry name of
+    :data:`repro.asynchronous.ASYNC_ADVERSARIES`) and *crash points*
+    (``pid -> atomic steps before vanishing`` — ``0`` is an initial crash,
+    ``s >= 1`` leaves the process's pre-crash writes visible).  The paper's
+    Section 4 claim for the regime: with the input vector in the condition
+    and at most ``x`` crashes, every live process decides at most ``l``
+    values, whatever the strategy does.
+    """
+
+    name: str
+    spec: Any  # AgreementSpec (typed loosely to keep the lazy api import)
+    input_vector: InputVector
+    #: Scheduling-strategy registry name (``"round-robin"``, ``"random"``, ...).
+    adversary: str
+    #: Crash points, sorted by pid (hashable form of the mapping).
+    crash_steps: tuple[tuple[int, int], ...]
+    description: str
+
+    @property
+    def crash_count(self) -> int:
+        """Number of processes the scenario crashes."""
+        return len(self.crash_steps)
+
+    def run(self, algorithm: str = "condition-kset", *, seed: int = 0):
+        """Execute the scenario once; returns the normalized RunResult."""
+        from ..api import Engine, RunConfig
+
+        engine = Engine(self.spec, algorithm, RunConfig(backend="async", seed=seed))
+        return engine.run(
+            self.input_vector,
+            async_adversary=self.adversary,
+            crash_steps=dict(self.crash_steps),
+        )
+
+    def batch(
+        self,
+        runs: int = 8,
+        algorithm: str = "condition-kset",
+        *,
+        workers: int = 1,
+        seed: int = 0,
+        store=None,
+    ):
+        """Run the regime *runs* times through one engine batch.
+
+        Run 0 uses the bundled vector; the others draw fresh in-condition
+        vectors, all under the scenario's strategy and crash points.  Results
+        are identical for any worker count.
+        """
+        if runs < 1:
+            raise InvalidParameterError(f"runs must be >= 1, got {runs}")
+        from ..api import Engine, RunConfig
+
+        oracle = self.spec.condition_oracle()
+        vectors = [self.input_vector] + [
+            vector_in_condition(
+                oracle, self.spec.n, self.spec.domain, Random(seed + index)
+            )
+            for index in range(1, runs)
+        ]
+        engine = Engine(
+            self.spec,
+            algorithm,
+            RunConfig(backend="async", seed=seed, workers=workers),
+        )
+        return engine.run_batch(
+            vectors,
+            async_adversary=self.adversary,
+            crash_steps=dict(self.crash_steps),
+            store=store,
+        )
+
+    def check(
+        self,
+        algorithm: str = "condition-kset",
+        *,
+        depth: int | None = None,
+        max_crashes: int | None = None,
+        workers: int = 1,
+        store=None,
+    ):
+        """Model-check the spec over every bounded interleaving × crash set."""
+        from ..api import Engine, RunConfig
+
+        engine = Engine(self.spec, algorithm, RunConfig(workers=workers))
+        return engine.check(
+            backend="async",
+            depth=depth,
+            max_crashes=max_crashes,
+            vectors=[self.input_vector],
+            store=store,
+        )
+
+
+def async_scenario(
+    n: int,
+    m: int,
+    x: int,
+    ell: int,
+    *,
+    adversary: str = "random",
+    crash_steps: Mapping[int, int] | None = None,
+    seed: int = 0,
+) -> AsyncScenario:
+    """The Section 4 regime: an in-condition vector under an async adversary.
+
+    The spec mirrors experiment E12 (``t = x``, ``d = 0``, ``k = l``: the
+    condition's resilience is the whole crash budget).  *crash_steps*
+    defaults to the ``x`` highest-numbered processes crashing after one
+    atomic step each — their proposals land in the shared memory before they
+    vanish, the mid-execution regime the initial-crash modelling could not
+    express.
+    """
+    from ..api import AgreementSpec
+
+    spec = AgreementSpec(n=n, t=x, k=ell, d=0, ell=ell, domain=m)
+    oracle = spec.condition_oracle()
+    vector = vector_in_condition(oracle, n, m, Random(seed))
+    if crash_steps is None:
+        crash_steps = {pid: 1 for pid in range(n - x, n)}
+    frozen = tuple(sorted(crash_steps.items()))
+    return AsyncScenario(
+        name=f"async-{adversary}",
+        spec=spec,
+        input_vector=vector,
+        adversary=adversary,
+        crash_steps=frozen,
+        description=(
+            f"input vector inside the (x={x}, l={ell})-legal condition under "
+            f"the {adversary!r} strategy with crash points "
+            f"{dict(frozen)}: every live process decides at most {ell} values"
+        ),
     )
 
 

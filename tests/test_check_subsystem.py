@@ -272,8 +272,11 @@ class TestMutantDetection:
         register_mutants()
 
     def test_registration_is_idempotent_and_hidden_by_default(self):
-        assert register_mutants() == (MUTANT_HASTY_FLOODMIN,)
-        assert register_mutants() == (MUTANT_HASTY_FLOODMIN,)
+        from repro.check.mutants import MUTANT_HASTY_ASYNC
+
+        expected = (MUTANT_HASTY_FLOODMIN, MUTANT_HASTY_ASYNC)
+        assert register_mutants() == expected
+        assert register_mutants() == expected
 
     def test_checker_flags_the_hasty_mutant(self):
         report = Engine(small_spec(), MUTANT_HASTY_FLOODMIN).check()
