@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+import snapshot
 from repro.algorithms.async_condition_set_agreement import (
     run_async_condition_set_agreement,
 )
@@ -96,6 +97,15 @@ def test_async_batch_reuse_matches_and_beats_per_run(capsys):
             f"{RUNS / harness_seconds:,.0f} runs/s, batched "
             f"{RUNS / batched_seconds:,.0f} runs/s, speed-up ×{speedup:.2f}"
         )
+    snapshot.record(
+        "async_batch",
+        {
+            "runs": RUNS,
+            "per_run_harness_runs_per_s": round(RUNS / harness_seconds, 1),
+            "batched_runs_per_s": round(RUNS / batched_seconds, 1),
+            "speedup": round(speedup, 3),
+        },
+    )
     assert speedup >= 1.1, (
         f"the batched async path gave ×{speedup:.2f} over per-run "
         f"reconstruction on {RUNS} runs; expected at least ×1.1"

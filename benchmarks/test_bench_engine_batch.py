@@ -21,6 +21,7 @@ from __future__ import annotations
 import os
 import time
 
+import snapshot
 from repro.api import AgreementSpec, Engine
 from repro.algorithms import ConditionBasedKSetAgreement
 from repro.core import MaxLegalCondition
@@ -100,6 +101,15 @@ def test_engine_batch_beats_naive_loop(capsys):
             f"{REPEATS}): naive {runs / naive_seconds:,.0f} runs/s, "
             f"batch {runs / batch_seconds:,.0f} runs/s, speed-up ×{speedup:.2f}"
         )
+    snapshot.record(
+        "engine_batch",
+        {
+            "runs": runs,
+            "naive_runs_per_s": round(runs / naive_seconds, 1),
+            "batch_runs_per_s": round(runs / batch_seconds, 1),
+            "speedup": round(speedup, 3),
+        },
+    )
 
     # The memoized batch must beat the naive per-vector loop outright.  On
     # shared CI runners wall-clock comparisons are noisy (CPU steal, GC

@@ -28,6 +28,7 @@ import time
 
 import pytest
 
+import snapshot
 from repro.api import AgreementSpec, Engine, RunConfig
 
 SPEC = AgreementSpec(n=4, t=1, k=1, d=1, ell=1, domain=3)
@@ -74,6 +75,16 @@ def test_exhaustive_check_parallel_matches_and_beats_serial(capsys):
             f"{executions / parallel_seconds:,.0f} exec/s, speed-up ×{speedup:.2f} "
             f"({cores} usable core(s))"
         )
+    snapshot.record(
+        "exhaustive_check",
+        {
+            "executions": executions,
+            "serial_exec_per_s": round(executions / serial_seconds, 1),
+            "parallel_exec_per_s": round(executions / parallel_seconds, 1),
+            "workers": WORKERS,
+            "speedup": round(speedup, 3),
+        },
+    )
 
     if cores < WORKERS:
         # Too few cores for 4 simulators at once; the run above still proved

@@ -353,6 +353,40 @@ class Engine:
             return {}
         return dict(self._condition.stats)
 
+    # -- resource teardown ----------------------------------------------------
+    def close(self) -> None:
+        """Release the engine's cached execution substrates (idempotent).
+
+        Tears down the per-spec :class:`~repro.asynchronous.executor.AsyncExecutor`
+        (its shared memory and process pool) **deterministically** instead of
+        leaving it to the garbage collector, drops the synchronous system and
+        clears the memoized condition caches.  This is what the
+        :class:`repro.serve.EngineCache` eviction path calls, and what keeps
+        long-lived library users from accumulating warm substrates for specs
+        they no longer run.
+
+        A closed engine is still usable: the next run transparently rebuilds
+        whatever substrate it needs (mirroring
+        :class:`repro.store.ResultStore`'s reopen-on-write contract), so
+        ``close()`` frees resources without invalidating the handle.  Engines
+        are context managers — ``with Engine(spec) as engine: ...`` closes on
+        exit.
+        """
+        executor = self._async_executor_cache
+        if executor is not None:
+            executor.close()
+            self._async_executor_cache = None
+        self._system = None
+        self._validated_schedules.clear()
+        if self._condition is not None:
+            self._condition.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- single run ----------------------------------------------------------
     def run(
         self,
@@ -416,6 +450,7 @@ class Engine:
         store: "ResultStore | None" = None,
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        seeds: Iterable[int] | None = None,
     ) -> list[RunResult]:
         """Execute many vectors through one chunked, memoized pipeline.
 
@@ -427,6 +462,14 @@ class Engine:
         schedule stream merely has to cover every vector, surplus elements
         are left unconsumed where possible.  Run *i* derives its seed as
         ``config.seed + i``, so the whole batch is deterministic.
+
+        *seeds* overrides that derivation with an explicit per-run seed
+        stream (paired elementwise with *vectors*, sized-length-checked like
+        *schedules*).  This is how callers that merge several logical batches
+        into one call — the request coalescer of :mod:`repro.serve` — keep
+        every merged segment byte-identical to running it alone:
+        ``seeds=range(s, s + len(vectors))`` reproduces exactly the batch a
+        config with base seed ``s`` would run.
 
         *chunk_size* is the number of runs staged and executed together; it
         must be an integer ``>= 1`` (``None`` means the config's default,
@@ -470,6 +513,7 @@ class Engine:
                 store=store,
                 async_adversary=async_adversary,
                 crash_steps=crash_steps,
+                seeds=seeds,
             )
         )
 
@@ -484,6 +528,7 @@ class Engine:
         store: "ResultStore | None" = None,
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        seeds: Iterable[int] | None = None,
     ) -> Iterator[RunResult]:
         """Stream the batch: yield each :class:`RunResult` as it completes.
 
@@ -514,6 +559,22 @@ class Engine:
                     )
             pairing = iter(schedules)
 
+        if seeds is None:
+            seed_stream: Iterator[int] = itertools.count(self._config.seed)
+        else:
+            try:
+                seed_count = len(seeds)  # type: ignore[arg-type]
+                vector_count = len(vectors)  # type: ignore[arg-type]
+            except TypeError:
+                pass  # one side is a lazy stream: pair at runtime
+            else:
+                if seed_count != vector_count:
+                    raise InvalidParameterError(
+                        f"run_batch got {vector_count} vectors but "
+                        f"{seed_count} explicit seeds"
+                    )
+            seed_stream = iter(seeds)
+
         if worker_count > 1 and self._entry is None:
             raise InvalidParameterError(
                 "parallel batches need an engine built from a registry key; "
@@ -527,7 +588,7 @@ class Engine:
                 "do not travel to workers"
             )
 
-        staged_chunks = self._staged_chunks(iter(vectors), pairing, chunk)
+        staged_chunks = self._staged_chunks(iter(vectors), pairing, chunk, seed_stream)
         if worker_count == 1:
             return self._iter_serial(
                 staged_chunks, backend, store, async_adversary, crash_steps
@@ -572,6 +633,7 @@ class Engine:
         vector_stream: Iterator[InputVector | Sequence[Any]],
         pairing: Iterator[CrashSchedule | str | None],
         chunk: int,
+        seed_stream: Iterator[int],
     ) -> Iterator[list[tuple[InputVector, CrashSchedule, int]]]:
         """Normalise, pair, seed and validate the batch, one chunk at a time."""
         exhausted = object()
@@ -588,7 +650,16 @@ class Engine:
                         f"run_batch ran out of schedules after {index} runs "
                         "with vectors remaining"
                     )
-                seed = self._config.seed + index
+                seed = next(seed_stream, exhausted)
+                if seed is exhausted:
+                    raise InvalidParameterError(
+                        f"run_batch ran out of explicit seeds after {index} runs "
+                        "with vectors remaining"
+                    )
+                if not isinstance(seed, int):
+                    raise InvalidParameterError(
+                        f"explicit seeds must be integers, got {seed!r}"
+                    )
                 crash_schedule = self._resolve_schedule(schedule, seed)
                 self._validate_once(crash_schedule)
                 staged.append((self._normalise_vector(vector), crash_schedule, seed))
@@ -734,6 +805,7 @@ class Engine:
         store: "ResultStore | None" = None,
         async_adversary: str | None = None,
         crash_steps: Mapping[int, int] | None = None,
+        seed: int | None = None,
     ) -> list[SweepCell]:
         """Run a batch for every combination of the *grid* spec overrides.
 
@@ -758,8 +830,31 @@ class Engine:
         order, so an interrupted sweep keeps its finished cells.
         *async_adversary* (a registry name — sweeps always stay picklable)
         and *crash_steps* apply to every run of every cell on the
-        asynchronous backend, same contract as :meth:`run`.
+        asynchronous backend, same contract as :meth:`run`.  *seed* overrides
+        the config's base seed for the whole sweep (cell *i* keeps deriving
+        ``seed + i``), byte-identical to sweeping an engine whose config
+        carries that seed — which is how :mod:`repro.serve` serves
+        per-request seeds from one cached engine.
         """
+        if seed is not None and seed != self._config.seed:
+            if not isinstance(seed, int):
+                raise InvalidParameterError(
+                    f"seed must be an integer, got {seed!r}"
+                )
+            sibling = Engine(
+                self._spec, self._algorithm_name, self._config.replace(seed=seed)
+            )
+            return sibling.sweep(
+                grid,
+                runs_per_cell,
+                vectors=vectors,
+                schedule=schedule,
+                backend=backend,
+                workers=workers,
+                store=store,
+                async_adversary=async_adversary,
+                crash_steps=crash_steps,
+            )
         if isinstance(async_adversary, AsyncAdversary):
             raise InvalidParameterError(
                 "sweep needs the async adversary as a registry name (cells "

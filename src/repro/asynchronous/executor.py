@@ -21,7 +21,7 @@ from __future__ import annotations
 from random import Random
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, SimulationError
 from .adversary import AsyncAdversary
 from .process import AsynchronousProcess
 from .scheduler import AsyncExecutionResult, AsynchronousScheduler
@@ -65,6 +65,7 @@ class AsyncExecutor:
         self._memory = SharedMemory(n)
         self._processes = [process_factory(pid, n, self._memory) for pid in range(n)]
         self._runs = 0
+        self._closed = False
 
     @property
     def n(self) -> int:
@@ -81,6 +82,33 @@ class AsyncExecutor:
         """How many executions this substrate has served."""
         return self._runs
 
+    @property
+    def closed(self) -> bool:
+        """Has the substrate been torn down?"""
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the substrate down deterministically (idempotent).
+
+        The shared memory is wiped and the process pool released, so the
+        ``2n`` registers and ``n`` state machines are reclaimable the moment
+        the owner lets go of the executor — cache eviction and
+        :meth:`repro.api.Engine.close` call this instead of waiting for the
+        garbage collector.  A closed executor refuses further runs; the
+        engine builds a fresh substrate if it is asked to execute again.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._memory.reset()
+        self._processes.clear()
+
+    def __enter__(self) -> "AsyncExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def run(
         self,
         proposals: Mapping[int, Any] | Sequence[Any],
@@ -96,6 +124,11 @@ class AsyncExecutor:
         The memory and every process are reset first, so consecutive runs are
         fully independent — only the allocations are shared.
         """
+        if self._closed:
+            raise SimulationError(
+                "this AsyncExecutor has been closed; build a fresh one "
+                "(Engine rebuilds its substrate automatically after close())"
+            )
         self._memory.reset()
         for process in self._processes:
             process.reset()

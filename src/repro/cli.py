@@ -23,6 +23,7 @@ demonstrations without writing any Python::
     repro check --n 4 --t 2 --k 2 --d 1 --workers 4 --store ce.jsonl
     repro check --n 3 --t 1 --k 1 --d 1 --differential floodmin
     repro check --backend async --n 3 --t 1 --d 0 --m 2 --depth 2  # every bounded interleaving
+    repro serve --port 8765 --store-dir results/  # agreement-as-a-service daemon
 
 Every execution goes through the unified :class:`repro.api.Engine`, so the
 ``demo`` command accepts any registered algorithm on any backend it supports,
@@ -358,6 +359,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="ALGORITHM",
         help="diff decisions against this second algorithm instead of checking oracles",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the agreement-as-a-service daemon (repro.serve)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=8,
+        help="warm engines kept in the spec-keyed cache (default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="requests executing concurrently (default 4)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot before 429 rejection (default 16)",
+    )
+    serve_parser.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        metavar="RUNS",
+        help="default per-tenant run budget (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=[],
+        metavar="TENANT=RUNS",
+        help="per-tenant budget override, repeatable (e.g. --tenant-quota ci=10000)",
+    )
+    serve_parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist each tenant's results to DIR/<tenant>.jsonl",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
     )
     return parser
 
@@ -710,6 +760,48 @@ def _command_check(arguments) -> int:
     return 0 if report.passed else 1
 
 
+def _command_serve(arguments) -> int:
+    from .serve import ReproServer
+
+    quotas = {}
+    for item in arguments.tenant_quota:
+        tenant, separator, runs = item.partition("=")
+        if not separator or not tenant.strip() or not runs.strip().isdigit():
+            raise InvalidParameterError(
+                f"tenant quotas are written TENANT=RUNS, got {item!r}"
+            )
+        quotas[tenant.strip()] = int(runs)
+    server = ReproServer(
+        arguments.host,
+        arguments.port,
+        cache_capacity=arguments.cache_capacity,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
+        default_quota=arguments.quota,
+        tenant_quotas=quotas or None,
+        store_dir=arguments.store_dir,
+        verbose=arguments.verbose,
+    )
+    try:
+        server.start()
+        host, port = server.address
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+        print(
+            f"cache capacity {arguments.cache_capacity}, "
+            f"max in-flight {arguments.max_inflight}, "
+            f"queue {arguments.max_queue}"
+            + (f", store dir {arguments.store_dir}" if arguments.store_dir else ""),
+            flush=True,
+        )
+        # Block until /shutdown (or Ctrl-C) stops the serving thread.
+        server._thread.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` / ``repro-setagreement`` executables."""
     parser = build_parser()
@@ -731,6 +823,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_sweep(arguments)
         if arguments.command == "check":
             return _command_check(arguments)
+        if arguments.command == "serve":
+            return _command_serve(arguments)
     except ReproError as error:
         # Bad parameter combinations (t >= n, k mismatching the algorithm,
         # backend unsupported, ...) are user errors, not crashes.

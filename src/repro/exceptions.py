@@ -103,3 +103,32 @@ class StoreError(ReproError):
     records of an unknown kind, and on values that cannot be serialized to
     JSON.
     """
+
+
+class ServeError(ReproError):
+    """The agreement-as-a-service layer rejected or failed a request.
+
+    Base class of the :mod:`repro.serve` failure modes; the client raises it
+    for malformed requests, transport failures and any server-side error that
+    is not an admission or quota rejection.
+    """
+
+
+class AdmissionError(ServeError):
+    """The server refused a request because it is at capacity.
+
+    The 429-style rejection of :class:`repro.serve.AdmissionController`:
+    every execution slot is busy and the wait queue is full.  Clients are
+    expected to back off and retry; nothing about the request itself was
+    wrong.
+    """
+
+
+class QuotaExceededError(ServeError):
+    """A tenant asked for more runs than its quota allows.
+
+    Raised by :class:`repro.serve.TenantQuotas` when charging a request would
+    push the tenant past its configured run budget.  Unlike
+    :class:`AdmissionError` this does not resolve by retrying: the tenant's
+    budget has to be raised (or its usage reset) first.
+    """

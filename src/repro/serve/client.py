@@ -1,0 +1,325 @@
+"""A stdlib client for the serving daemon (:mod:`repro.serve.server`).
+
+:class:`ServeClient` speaks the daemon's JSON protocol over
+:mod:`http.client` — no third-party dependencies — and translates both ways:
+
+* requests take the same vocabulary as the :class:`~repro.api.Engine` facade
+  (spec fields, ``backend=``, ``schedule=``, ``seed=``, ...), so switching
+  between direct and served execution is a one-line change;
+* responses come back as real library objects — run and batch results are
+  rebuilt into :class:`~repro.api.RunResult` via
+  :meth:`~repro.api.RunResult.from_record` — and server-side rejections are
+  re-raised as the library's own exceptions
+  (:class:`~repro.exceptions.AdmissionError` on back-pressure,
+  :class:`~repro.exceptions.QuotaExceededError` over budget,
+  :class:`~repro.exceptions.ServeError` for everything else).
+
+Every call opens a fresh connection (the daemon serves HTTP/1.0), so one
+client instance may be shared across threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from http.client import HTTPConnection, HTTPResponse
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..api.result import RunResult
+from ..api.spec import AgreementSpec
+from ..exceptions import AdmissionError, QuotaExceededError, ServeError
+
+__all__ = ["ServeClient"]
+
+#: Error codes the server emits, mapped back onto library exceptions.
+_ERROR_TYPES = {
+    "admission": AdmissionError,
+    "quota": QuotaExceededError,
+}
+
+
+def _spec_fields(spec: AgreementSpec | Mapping[str, Any]) -> dict[str, Any]:
+    """The JSON shape of a spec (accepts a real spec or a plain dict)."""
+    if isinstance(spec, AgreementSpec):
+        fields = dataclasses.asdict(spec)
+        params = fields.get("condition_params")
+        if params:
+            fields["condition_params"] = dict(params)
+        else:
+            fields.pop("condition_params", None)
+        return fields
+    return dict(spec)
+
+
+class ServeClient:
+    """Drive a running :class:`~repro.serve.server.ReproServer` over HTTP.
+
+    Parameters
+    ----------
+    host, port:
+        Where the daemon listens (e.g. the pair :meth:`ReproServer.start
+        <repro.serve.server.ReproServer.start>` returned).
+    tenant:
+        Tenant name stamped on every request (quota accounting and, with a
+        ``store_dir`` deployment, the result-store namespace).  ``None``
+        uses the server's default tenant.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        tenant: str | None = None,
+        timeout: float = 120.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._tenant = tenant
+        self._timeout = timeout
+
+    def __repr__(self) -> str:
+        tenant = f", tenant={self._tenant!r}" if self._tenant else ""
+        return f"ServeClient({self._host}:{self._port}{tenant})"
+
+    # -- plumbing ----------------------------------------------------------
+    def _open(self, method: str, path: str, payload: Mapping[str, Any] | None):
+        connection = HTTPConnection(self._host, self._port, timeout=self._timeout)
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            return connection, connection.getresponse()
+        except OSError as error:
+            connection.close()
+            raise ServeError(
+                f"cannot reach repro serve at {self._host}:{self._port}: {error}"
+            ) from None
+
+    @staticmethod
+    def _raise_for_error(status: int, payload: Mapping[str, Any]) -> None:
+        if status == 200 and payload.get("ok"):
+            return
+        message = payload.get("error", f"server returned HTTP {status}")
+        error_type = _ERROR_TYPES.get(payload.get("code"), ServeError)
+        raise error_type(message)
+
+    def _call(self, method: str, path: str, payload: Mapping[str, Any] | None = None):
+        connection, response = self._open(method, path, payload)
+        try:
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError:
+            raise ServeError(
+                f"malformed response from {path} (HTTP {response.status})"
+            ) from None
+        self._raise_for_error(response.status, decoded)
+        return decoded
+
+    def _request_payload(self, spec, **fields: Any) -> dict[str, Any]:
+        payload: dict[str, Any] = {"spec": _spec_fields(spec)}
+        if self._tenant is not None:
+            payload["tenant"] = self._tenant
+        payload.update(
+            (name, value) for name, value in fields.items() if value is not None
+        )
+        return payload
+
+    # -- endpoints ---------------------------------------------------------
+    def run(
+        self,
+        spec: AgreementSpec | Mapping[str, Any],
+        vector: Sequence[Any],
+        *,
+        algorithm: str | None = None,
+        backend: str | None = None,
+        schedule: str | None = None,
+        seed: int | None = None,
+        crashes: int | None = None,
+        max_steps: int | None = None,
+        adversary: str | None = None,
+        crash_steps: Mapping[int, int] | None = None,
+    ) -> RunResult:
+        """``POST /run``: one vector on the server's warm engine."""
+        payload = self._request_payload(
+            spec,
+            vector=list(vector),
+            algorithm=algorithm,
+            backend=backend,
+            schedule=schedule,
+            seed=seed,
+            crashes=crashes,
+            max_steps=max_steps,
+            adversary=adversary,
+            crash_steps=crash_steps,
+        )
+        decoded = self._call("POST", "/run", payload)
+        return RunResult.from_record(decoded["result"])
+
+    def run_batch(
+        self,
+        spec: AgreementSpec | Mapping[str, Any],
+        vectors: Sequence[Sequence[Any]],
+        *,
+        algorithm: str | None = None,
+        backend: str | None = None,
+        schedule: str | None = None,
+        seed: int | None = None,
+        crashes: int | None = None,
+        max_steps: int | None = None,
+        adversary: str | None = None,
+        crash_steps: Mapping[int, int] | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> list[RunResult]:
+        """``POST /batch``: many vectors in one request.
+
+        Concurrent same-recipe calls may be coalesced server-side into one
+        engine batch; results are byte-identical either way (run *i* uses
+        seed ``seed + i``, exactly like a direct
+        :meth:`~repro.api.Engine.run_batch` with base seed *seed*).
+        """
+        payload = self._request_payload(
+            spec,
+            vectors=[list(vector) for vector in vectors],
+            algorithm=algorithm,
+            backend=backend,
+            schedule=schedule,
+            seed=seed,
+            crashes=crashes,
+            max_steps=max_steps,
+            adversary=adversary,
+            crash_steps=crash_steps,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        decoded = self._call("POST", "/batch", payload)
+        return [RunResult.from_record(record) for record in decoded["results"]]
+
+    def iter_batch(
+        self,
+        spec: AgreementSpec | Mapping[str, Any],
+        vectors: Sequence[Sequence[Any]],
+        **options: Any,
+    ) -> Iterator[RunResult]:
+        """``POST /batch`` with ``stream=true``: yield results as NDJSON lines.
+
+        Results arrive (and are yielded) while the server is still executing
+        the tail of the batch.  Takes the same keyword options as
+        :meth:`run_batch`.
+        """
+        payload = self._request_payload(
+            spec,
+            vectors=[list(vector) for vector in vectors],
+            stream=True,
+            **{name: value for name, value in options.items() if value is not None},
+        )
+        connection, response = self._open("POST", "/batch", payload)
+        try:
+            if response.status != 200:
+                decoded = json.loads(response.read())
+                self._raise_for_error(response.status, decoded)
+            yield from self._read_stream(response)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _read_stream(response: HTTPResponse) -> Iterator[RunResult]:
+        for line in response:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "__error__" in record:
+                raise ServeError(f"batch failed mid-stream: {record['__error__']}")
+            yield RunResult.from_record(record)
+
+    def sweep(
+        self,
+        spec: AgreementSpec | Mapping[str, Any],
+        grid: Mapping[str, Sequence[Any]],
+        runs_per_cell: int = 4,
+        *,
+        algorithm: str | None = None,
+        backend: str | None = None,
+        schedule: str | None = None,
+        seed: int | None = None,
+        vectors_mode: str | None = None,
+        workers: int | None = None,
+        adversary: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """``POST /sweep``: a parameter grid; returns plain cell records.
+
+        Each record has the persisted cell shape: ``overrides``, ``error``,
+        ``spec`` and ``results`` (run records).
+        """
+        payload = self._request_payload(
+            spec,
+            grid={name: list(values) for name, values in grid.items()},
+            runs_per_cell=runs_per_cell,
+            algorithm=algorithm,
+            backend=backend,
+            schedule=schedule,
+            seed=seed,
+            vectors_mode=vectors_mode,
+            workers=workers,
+            adversary=adversary,
+        )
+        return self._call("POST", "/sweep", payload)["cells"]
+
+    def check(
+        self,
+        spec: AgreementSpec | Mapping[str, Any],
+        *,
+        algorithm: str | None = None,
+        backend: str | None = None,
+        rounds: int | None = None,
+        depth: int | None = None,
+        max_crashes: int | None = None,
+        max_vectors: int | None = None,
+        all_vectors_limit: int | None = None,
+        max_counterexamples: int | None = None,
+        workers: int | None = None,
+    ) -> dict[str, Any]:
+        """``POST /check``: exhaustive verification on the server.
+
+        Returns ``{"passed": bool, "backend": ..., "report": <report
+        record>, "render": <human summary>}``.
+        """
+        payload = self._request_payload(
+            spec,
+            algorithm=algorithm,
+            backend=backend,
+            rounds=rounds,
+            depth=depth,
+            max_crashes=max_crashes,
+            max_vectors=max_vectors,
+            all_vectors_limit=all_vectors_limit,
+            max_counterexamples=max_counterexamples,
+            workers=workers,
+        )
+        decoded = self._call("POST", "/check", payload)
+        return {
+            "passed": decoded["passed"],
+            "backend": decoded["backend"],
+            "report": decoded["report"],
+            "render": decoded["render"],
+        }
+
+    def status(self) -> dict[str, Any]:
+        """``GET /status``: the server's monitoring snapshot."""
+        decoded = self._call("GET", "/status")
+        decoded.pop("ok", None)
+        return decoded
+
+    def shutdown(self) -> None:
+        """``POST /shutdown``: ask the daemon to stop gracefully."""
+        self._call("POST", "/shutdown", {})

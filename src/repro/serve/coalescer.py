@@ -1,0 +1,144 @@
+"""Request coalescing: merge concurrent same-spec batches into one engine call.
+
+Engines execute one request at a time (the cache entry's lock serialises
+them), so under load, same-spec batch requests pile up behind the lock.  The
+coalescer turns that pile-up into throughput: while one request holds the
+engine, later arrivals *pool*; whichever thread next wins the lock drains the
+whole pool and executes it as **one merged** ``run_batch``/``iter_batch``
+call, then hands each waiter its own slice of the results.
+
+Correctness leans on :meth:`repro.api.Engine.run_batch`'s explicit ``seeds=``
+stream: the merged call concatenates every request's vectors and its
+``range(seed, seed + len(vectors))`` seeds, so each merged segment is
+byte-identical to running that request alone — coalescing changes wall-clock
+sharing, never results.
+
+The pooling is load-adaptive rather than timer-based: an idle server executes
+a lone request immediately (no added latency window), and pooling only —
+and automatically — happens while the engine is busy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+__all__ = ["BatchCoalescer", "CoalescerStats"]
+
+
+@dataclass
+class CoalescerStats:
+    """What the coalescer did so far (all counters monotonic)."""
+
+    #: Merged engine calls actually executed.
+    batches_executed: int = 0
+    #: Requests that went through the coalescer.
+    requests_seen: int = 0
+    #: Requests that rode along in a merged call instead of paying their own.
+    requests_merged: int = 0
+    #: Largest number of requests merged into one call.
+    largest_merge: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "batches_executed": self.batches_executed,
+            "requests_seen": self.requests_seen,
+            "requests_merged": self.requests_merged,
+            "largest_merge": self.largest_merge,
+        }
+
+
+@dataclass
+class _Pending:
+    """One waiting request: its payload and the slot its result lands in."""
+
+    payload: Any
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+    error: BaseException | None = None
+
+
+class BatchCoalescer:
+    """Pools concurrent same-key requests and executes them as one call.
+
+    The *key* must capture everything that makes requests mergeable — for the
+    server that is the engine recipe plus every per-call knob except vectors
+    and seeds (backend, schedule name, adversary, crash points, ...), so a
+    merged call is homogeneous by construction.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._buckets: dict[Hashable, list[_Pending]] = {}
+        self._stats = CoalescerStats()
+
+    def stats(self) -> dict[str, int]:
+        """A consistent snapshot of the counters."""
+        with self._mutex:
+            return self._stats.snapshot()
+
+    def submit(
+        self,
+        key: Hashable,
+        payload: Any,
+        lock: threading.RLock,
+        runner: Callable[[Sequence[Any]], Sequence[Any]],
+    ) -> Any:
+        """Execute *payload* (possibly merged with concurrent same-key payloads).
+
+        The first thread to open a bucket becomes its **leader**; threads
+        arriving while the bucket is open become **riders** and block.  The
+        leader acquires *lock* (the engine's execution lock — this is where
+        pooling time comes from: riders join while the leader waits), then
+        atomically drains the bucket and calls ``runner(payloads)``, which
+        must return one result per payload in order.  Every rider receives
+        its result (or the batch's exception); the leader's own result is
+        returned.
+
+        *runner* failures propagate to every merged request — runners that
+        can isolate a poisoned payload (the server falls back to per-request
+        execution) should catch and split internally.
+        """
+        pending = _Pending(payload)
+        with self._mutex:
+            self._stats.requests_seen += 1
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.append(pending)
+                leader = False
+            else:
+                self._buckets[key] = [pending]
+                leader = True
+        if not leader:
+            pending.done.wait()
+            if pending.error is not None:
+                raise pending.error
+            return pending.result
+
+        with lock:
+            with self._mutex:
+                batch = self._buckets.pop(key)
+                self._stats.batches_executed += 1
+                self._stats.requests_merged += len(batch) - 1
+                self._stats.largest_merge = max(self._stats.largest_merge, len(batch))
+            try:
+                outputs = runner([entry.payload for entry in batch])
+            except BaseException as error:
+                for entry in batch:
+                    entry.error = error
+                    entry.done.set()
+                raise
+            if len(outputs) != len(batch):  # a runner bug, not a request error
+                error = RuntimeError(
+                    f"coalescer runner returned {len(outputs)} results "
+                    f"for {len(batch)} merged requests"
+                )
+                for entry in batch:
+                    entry.error = error
+                    entry.done.set()
+                raise error
+            for entry, output in zip(batch, outputs):
+                entry.result = output
+                entry.done.set()
+        return pending.result

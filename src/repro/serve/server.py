@@ -1,0 +1,640 @@
+"""The agreement-as-a-service daemon: HTTP endpoints over warm engines.
+
+:class:`ReproServer` wraps the whole library behind a long-lived
+:class:`~http.server.ThreadingHTTPServer` so many concurrent clients can
+submit work without paying engine cold-start per invocation:
+
+========  =======  ==========================================================
+endpoint  method   what it does
+========  =======  ==========================================================
+/run      POST     one vector through :meth:`~repro.api.Engine.run`
+/batch    POST     many vectors through :meth:`~repro.api.Engine.run_batch`;
+                   ``"stream": true`` switches to an NDJSON response built on
+                   :meth:`~repro.api.Engine.iter_batch` (one record per line,
+                   written as results complete)
+/sweep    POST     a parameter grid through :meth:`~repro.api.Engine.sweep`
+/check    POST     exhaustive verification through :meth:`~repro.api.Engine.check`
+/status   GET      cache occupancy + hit/miss/eviction counts, coalescer
+                   counters, queue depth, per-tenant usage, request totals
+/shutdown POST     graceful stop (used by CI and the examples)
+========  =======  ==========================================================
+
+The heart of the server is the spec-keyed
+:class:`~repro.serve.cache.EngineCache`: every execution request resolves its
+``(spec, algorithm, config)`` recipe to a warm engine — with its populated
+:class:`~repro.api.engine.MemoizedCondition` and, for asynchronous specs, its
+live :class:`~repro.asynchronous.executor.AsyncExecutor` substrate — and a
+request for a spec the server has seen before skips the cold start entirely.
+The cache is bounded; eviction tears the engine down through
+:meth:`~repro.api.Engine.close`.
+
+Determinism survives the sharing because the cache key *normalises the seed
+out of the config* and passes each request's seed per call: ``/run`` uses
+``Engine.run(seed=...)``, ``/batch`` hands ``seeds=range(seed, seed + B)`` to
+``run_batch`` and ``/sweep`` uses ``sweep(seed=...)``, so every response is
+byte-identical to calling the engine directly with a config carrying that
+seed.  Concurrent same-spec ``/batch`` requests are merged by the
+:class:`~repro.serve.coalescer.BatchCoalescer` into one ``run_batch`` call
+(per-segment seeds keep the merge invisible in the results), admission
+control and per-tenant quotas guard the door
+(:mod:`repro.serve.quotas`), and a ``--store-dir`` deployment persists every
+tenant's results into its own namespaced
+:class:`~repro.store.ResultStore` file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from ..api.engine import Engine, SweepCell
+from ..api.registry import ALGORITHMS
+from ..api.spec import AgreementSpec, RunConfig
+from ..exceptions import (
+    AdmissionError,
+    InvalidParameterError,
+    QuotaExceededError,
+    ReproError,
+    ServeError,
+)
+from ..store import ResultStore
+from .cache import EngineCache
+from .coalescer import BatchCoalescer
+from .quotas import DEFAULT_TENANT, AdmissionController, TenantQuotas
+
+__all__ = ["ReproServer"]
+
+#: Endpoints that execute agreement work (and therefore pass admission).
+EXECUTION_ENDPOINTS = ("/run", "/batch", "/sweep", "/check")
+
+
+def _cell_record(cell: SweepCell) -> dict[str, Any]:
+    """The JSON shape of one sweep cell (same fields the store persists)."""
+    import dataclasses
+
+    return {
+        "overrides": dict(cell.overrides),
+        "error": cell.error,
+        "spec": dataclasses.asdict(cell.spec),
+        "results": [result.to_record() for result in cell.results],
+    }
+
+
+class _ParsedRequest:
+    """One execution request, decoded and validated once."""
+
+    def __init__(self, payload: Mapping[str, Any]) -> None:
+        if not isinstance(payload, Mapping):
+            raise InvalidParameterError("the request body must be a JSON object")
+        spec_fields = payload.get("spec")
+        if not isinstance(spec_fields, Mapping):
+            raise InvalidParameterError(
+                'the request needs a "spec" object (AgreementSpec fields)'
+            )
+        try:
+            self.spec = AgreementSpec(**spec_fields)
+        except TypeError as error:
+            raise InvalidParameterError(f"bad spec: {error}") from None
+        self.algorithm = payload.get("algorithm", "condition-kset")
+        ALGORITHMS.get(self.algorithm)  # unknown names fail here, as a 400
+        self.backend = payload.get("backend", "sync")
+        self.schedule = payload.get("schedule")
+        if self.schedule is not None and not isinstance(self.schedule, str):
+            raise InvalidParameterError(
+                f"schedule must be a registry name or null, got {self.schedule!r}"
+            )
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise InvalidParameterError(f"seed must be an integer, got {seed!r}")
+        self.seed = seed
+        self.tenant = payload.get("tenant", DEFAULT_TENANT)
+        ResultStore._validate_tenant(self.tenant)
+        self.adversary = payload.get("adversary")
+        self.workers = payload.get("workers", 1)
+        self.chunk_size = payload.get("chunk_size")
+        crash_steps = payload.get("crash_steps")
+        if crash_steps is not None:
+            if not isinstance(crash_steps, Mapping):
+                raise InvalidParameterError(
+                    f"crash_steps must map process ids to steps, got {crash_steps!r}"
+                )
+            crash_steps = {int(pid): steps for pid, steps in crash_steps.items()}
+        self.crash_steps = crash_steps
+        # The cache key's config: the seed is normalised to 0 (it travels per
+        # call instead) so every same-recipe request shares one warm engine.
+        self.config = RunConfig(
+            crashes=payload.get("crashes", 0),
+            max_steps_per_process=payload.get("max_steps", 200),
+        )
+
+    def engine_key(self) -> tuple:
+        return (self.spec, self.algorithm, self.config)
+
+    def call_knobs(self) -> dict[str, Any]:
+        """Per-call keyword arguments shared by run/batch (backend-gated)."""
+        knobs: dict[str, Any] = {"backend": self.backend}
+        if self.backend == "async":
+            knobs["async_adversary"] = self.adversary
+            knobs["crash_steps"] = self.crash_steps
+        elif self.adversary is not None or self.crash_steps is not None:
+            raise InvalidParameterError(
+                "adversary and crash_steps only apply to the asynchronous backend"
+            )
+        return knobs
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: thin HTTP plumbing around :class:`ReproServer`."""
+
+    server_version = "repro-serve/1.0"
+
+    @property
+    def state(self) -> "ReproServer":
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.state.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+    def _read_payload(self) -> Mapping[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise InvalidParameterError("the request body must be a JSON object")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise InvalidParameterError(f"malformed JSON body: {error.msg}") from None
+        if not isinstance(payload, dict):
+            raise InvalidParameterError("the request body must be a JSON object")
+        return payload
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self.state._count_error(code)
+        self._send_json(status, {"ok": False, "code": code, "error": message})
+
+    # -- dispatch ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/status":
+            self.state._count_request("/status")
+            self._send_json(200, {"ok": True, **self.state.status()})
+            return
+        self._send_error_json(404, "not-found", f"unknown endpoint {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/shutdown":
+            self.state._count_request("/shutdown")
+            self._send_json(200, {"ok": True, "message": "shutting down"})
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+            return
+        if self.path not in EXECUTION_ENDPOINTS:
+            self._send_error_json(404, "not-found", f"unknown endpoint {self.path!r}")
+            return
+        self.state._count_request(self.path)
+        try:
+            payload = self._read_payload()
+            request = _ParsedRequest(payload)
+            if self.path == "/run":
+                self._handle_run(request, payload)
+            elif self.path == "/batch":
+                self._handle_batch(request, payload)
+            elif self.path == "/sweep":
+                self._handle_sweep(request, payload)
+            else:
+                self._handle_check(request, payload)
+        except QuotaExceededError as error:
+            self._send_error_json(429, "quota", str(error))
+        except AdmissionError as error:
+            self._send_error_json(429, "admission", str(error))
+        except ReproError as error:
+            self._send_error_json(400, "bad-request", f"{type(error).__name__}: {error}")
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as error:  # noqa: BLE001 — a daemon must not die per request
+            self._send_error_json(500, "internal", f"{type(error).__name__}: {error}")
+
+    # -- endpoints ---------------------------------------------------------
+    def _handle_run(self, request: _ParsedRequest, payload: Mapping[str, Any]) -> None:
+        vector = payload.get("vector")
+        if not isinstance(vector, (list, tuple)):
+            raise InvalidParameterError('"/run" needs a "vector" array')
+        state = self.state
+        state.quotas.charge(request.tenant, 1)
+        with state._admission_slot():
+            entry = state.cache.get(request.spec, request.algorithm, request.config)
+            with entry.lock:
+                result = entry.engine.run(
+                    vector,
+                    request.schedule,
+                    seed=request.seed,
+                    **request.call_knobs(),
+                )
+        store = state.tenant_store(request.tenant)
+        if store is not None:
+            store.append(result)
+        state._count_runs(1)
+        self._send_json(200, {"ok": True, "result": result.to_record()})
+
+    def _handle_batch(self, request: _ParsedRequest, payload: Mapping[str, Any]) -> None:
+        vectors = payload.get("vectors")
+        if not isinstance(vectors, list) or not vectors:
+            raise InvalidParameterError('"/batch" needs a non-empty "vectors" array')
+        state = self.state
+        state.quotas.charge(request.tenant, len(vectors))
+        if payload.get("stream"):
+            self._stream_batch(request, vectors)
+            return
+        with state._admission_slot():
+            results = state.execute_batch(request, vectors)
+        store = state.tenant_store(request.tenant)
+        if store is not None:
+            store.extend(results)
+        state._count_runs(len(results))
+        self._send_json(
+            200, {"ok": True, "results": [result.to_record() for result in results]}
+        )
+
+    def _stream_batch(self, request: _ParsedRequest, vectors: list) -> None:
+        """NDJSON response: one run record per line, written as it completes.
+
+        Streaming bypasses the coalescer (results must flow while the batch
+        executes) but still runs on the warm cached engine, under its lock.
+        """
+        state = self.state
+        with state._admission_slot():
+            entry = state.cache.get(request.spec, request.algorithm, request.config)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.end_headers()
+            store = state.tenant_store(request.tenant)
+            served = 0
+            with entry.lock:
+                try:
+                    stream = entry.engine.iter_batch(
+                        vectors,
+                        request.schedule,
+                        seeds=range(request.seed, request.seed + len(vectors)),
+                        workers=request.workers,
+                        chunk_size=request.chunk_size,
+                        **request.call_knobs(),
+                    )
+                    for result in stream:
+                        if store is not None:
+                            store.append(result)
+                        line = json.dumps(result.to_record()) + "\n"
+                        self.wfile.write(line.encode("utf-8"))
+                        self.wfile.flush()
+                        served += 1
+                except ReproError as error:
+                    # The status line is long gone: report in-band instead.
+                    failure = json.dumps(
+                        {"__error__": f"{type(error).__name__}: {error}"}
+                    )
+                    self.wfile.write((failure + "\n").encode("utf-8"))
+            state._count_runs(served)
+
+    def _handle_sweep(self, request: _ParsedRequest, payload: Mapping[str, Any]) -> None:
+        grid = payload.get("grid")
+        if not isinstance(grid, Mapping) or not grid:
+            raise InvalidParameterError('"/sweep" needs a non-empty "grid" object')
+        runs_per_cell = payload.get("runs_per_cell", 4)
+        if not isinstance(runs_per_cell, int) or runs_per_cell < 1:
+            raise InvalidParameterError(
+                f"runs_per_cell must be an integer >= 1, got {runs_per_cell!r}"
+            )
+        cell_count = 1
+        for values in grid.values():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise InvalidParameterError(
+                    "every grid axis needs a non-empty array of values"
+                )
+            cell_count *= len(values)
+        state = self.state
+        state.quotas.charge(request.tenant, cell_count * runs_per_cell)
+        with state._admission_slot():
+            entry = state.cache.get(request.spec, request.algorithm, request.config)
+            with entry.lock:
+                cells = entry.engine.sweep(
+                    grid,
+                    runs_per_cell,
+                    vectors=payload.get("vectors_mode", "in"),
+                    schedule=request.schedule,
+                    backend=request.backend,
+                    workers=request.workers,
+                    async_adversary=(
+                        request.adversary if request.backend == "async" else None
+                    ),
+                    crash_steps=(
+                        request.crash_steps if request.backend == "async" else None
+                    ),
+                    seed=request.seed,
+                )
+        store = state.tenant_store(request.tenant)
+        executed = 0
+        for cell in cells:
+            if store is not None:
+                store.append_cell(cell)
+            executed += cell.runs
+        state._count_runs(executed)
+        self._send_json(
+            200, {"ok": True, "cells": [_cell_record(cell) for cell in cells]}
+        )
+
+    def _handle_check(self, request: _ParsedRequest, payload: Mapping[str, Any]) -> None:
+        state = self.state
+        # A check's execution count is only known once the space is
+        # enumerated; it is charged as one quota unit (admission still
+        # bounds how many run concurrently).
+        state.quotas.charge(request.tenant, 1)
+        with state._admission_slot():
+            entry = state.cache.get(request.spec, request.algorithm, request.config)
+            with entry.lock:
+                report = entry.engine.check(
+                    backend=request.backend,
+                    rounds=payload.get("rounds"),
+                    depth=payload.get("depth"),
+                    max_crashes=payload.get("max_crashes"),
+                    workers=request.workers,
+                    store=state.tenant_store(request.tenant),
+                    max_counterexamples=payload.get("max_counterexamples", 25),
+                    max_vectors=payload.get("max_vectors", 12),
+                    all_vectors_limit=payload.get("all_vectors_limit", 100),
+                )
+        state._count_runs(report.executions)
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "passed": report.passed,
+                "backend": request.backend,
+                "report": report.to_record(),
+                "render": report.render(),
+            },
+        )
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Backref to the owning :class:`ReproServer` (set right after creation).
+    state: "ReproServer"
+
+
+class ReproServer:
+    """The long-lived serving daemon (see the module docstring for the API).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    cache_capacity:
+        Bound of the spec-keyed engine cache.
+    max_inflight, max_queue:
+        Admission control: concurrent executions and bounded wait queue.
+    default_quota, tenant_quotas:
+        Per-tenant run budgets (``None`` = unlimited, usage still tracked).
+    store_dir:
+        When set, every tenant's results/cells/counterexamples are appended
+        to ``<store_dir>/<tenant>.jsonl`` (a namespaced
+        :class:`~repro.store.ResultStore` per tenant).
+    verbose:
+        Log one line per HTTP request to stderr.
+
+    Usage::
+
+        server = ReproServer(port=0)
+        host, port = server.start()        # background thread
+        ...                                # drive it with repro.serve.client
+        server.close()
+
+    or blocking (the ``repro serve`` CLI)::
+
+        ReproServer(port=8765).run_forever()
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_capacity: int = 8,
+        max_inflight: int = 4,
+        max_queue: int = 16,
+        default_quota: int | None = None,
+        tenant_quotas: Mapping[str, int | None] | None = None,
+        store_dir: str | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self.verbose = verbose
+        self.cache = EngineCache(cache_capacity)
+        self.coalescer = BatchCoalescer()
+        self.admission = AdmissionController(max_inflight, max_queue)
+        self.quotas = TenantQuotas(default_quota, tenant_quotas)
+        self._store_dir = store_dir
+        self._stores: dict[str, ResultStore] = {}
+        self._stores_mutex = threading.Lock()
+        self._counters_mutex = threading.Lock()
+        self._requests_by_endpoint: dict[str, int] = {}
+        self._errors_by_code: dict[str, int] = {}
+        self._runs_served = 0
+        self._started_at: float | None = None
+        self._http: _ServeHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def _bind(self) -> _ServeHTTPServer:
+        if self._http is not None:
+            raise ServeError("the server is already running")
+        http = _ServeHTTPServer((self._host, self._requested_port), _Handler)
+        http.state = self
+        self._http = http
+        self._started_at = time.monotonic()
+        return http
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve from a daemon thread; returns ``(host, port)``."""
+        http = self._bind()
+        self._thread = threading.Thread(
+            target=http.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def run_forever(self) -> None:
+        """Bind and serve on the calling thread until shutdown (CLI mode)."""
+        http = self._bind()
+        try:
+            http.serve_forever()
+        finally:
+            self.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        if self._http is None:
+            raise ServeError("the server is not running")
+        return self._http.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self.address[1]
+
+    def close(self) -> None:
+        """Stop serving, close every tenant store and tear every engine down."""
+        http, self._http = self._http, None
+        if http is not None:
+            http.shutdown()
+            http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        with self._stores_mutex:
+            stores, self._stores = dict(self._stores), {}
+        for store in stores.values():
+            store.close()
+        self.cache.clear()
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution helpers -------------------------------------------------
+    def _admission_slot(self) -> AdmissionController:
+        return self.admission
+
+    def tenant_store(self, tenant: str) -> ResultStore | None:
+        """The tenant's namespaced store, or ``None`` when persistence is off."""
+        if self._store_dir is None:
+            return None
+        with self._stores_mutex:
+            store = self._stores.get(tenant)
+            if store is None:
+                store = self._stores[tenant] = ResultStore.for_tenant(
+                    self._store_dir, tenant
+                )
+            return store
+
+    def execute_batch(self, request: _ParsedRequest, vectors: list) -> list:
+        """Run one ``/batch`` request through the coalescer on its warm engine.
+
+        Concurrent requests with the same coalescing key (engine recipe plus
+        every per-call knob except vectors/seed) pool while the engine is
+        busy and execute as **one** ``run_batch`` call; each request's
+        segment keeps its own ``range(seed, seed + B)`` seeds, so merged
+        results equal solo results exactly.
+        """
+        entry = self.cache.get(request.spec, request.algorithm, request.config)
+        knobs = request.call_knobs()
+        frozen_steps = (
+            None
+            if request.crash_steps is None
+            else tuple(sorted(request.crash_steps.items()))
+        )
+        key = (
+            request.engine_key(),
+            request.backend,
+            request.schedule,
+            request.adversary,
+            frozen_steps,
+            request.workers,
+            request.chunk_size,
+        )
+        seeds = list(range(request.seed, request.seed + len(vectors)))
+
+        def run_segment(segment_vectors: list, segment_seeds: list) -> list:
+            return entry.engine.run_batch(
+                segment_vectors,
+                request.schedule,
+                seeds=segment_seeds,
+                workers=request.workers,
+                chunk_size=request.chunk_size,
+                **knobs,
+            )
+
+        def runner(payloads):
+            if len(payloads) == 1:
+                segment_vectors, segment_seeds = payloads[0]
+                return [run_segment(segment_vectors, segment_seeds)]
+            merged_vectors = [v for segment, _ in payloads for v in segment]
+            merged_seeds = [s for _, seeds_ in payloads for s in seeds_]
+            try:
+                merged = run_segment(merged_vectors, merged_seeds)
+            except ReproError:
+                # One poisoned segment must not fail its co-riders: fall back
+                # to per-request execution and let each fail (or not) alone.
+                outputs = []
+                for segment_vectors, segment_seeds in payloads:
+                    try:
+                        outputs.append(run_segment(segment_vectors, segment_seeds))
+                    except ReproError as error:
+                        outputs.append(error)
+                return outputs
+            outputs, cursor = [], 0
+            for segment_vectors, _ in payloads:
+                outputs.append(merged[cursor : cursor + len(segment_vectors)])
+                cursor += len(segment_vectors)
+            return outputs
+
+        outcome = self.coalescer.submit(key, (vectors, seeds), entry.lock, runner)
+        if isinstance(outcome, ReproError):
+            raise outcome
+        return outcome
+
+    # -- bookkeeping -------------------------------------------------------
+    def _count_request(self, endpoint: str) -> None:
+        with self._counters_mutex:
+            self._requests_by_endpoint[endpoint] = (
+                self._requests_by_endpoint.get(endpoint, 0) + 1
+            )
+
+    def _count_error(self, code: str) -> None:
+        with self._counters_mutex:
+            self._errors_by_code[code] = self._errors_by_code.get(code, 0) + 1
+
+    def _count_runs(self, runs: int) -> None:
+        with self._counters_mutex:
+            self._runs_served += runs
+
+    def status(self) -> dict[str, Any]:
+        """The monitoring snapshot served by ``GET /status``."""
+        with self._counters_mutex:
+            by_endpoint = dict(self._requests_by_endpoint)
+            by_error = dict(self._errors_by_code)
+            runs_served = self._runs_served
+        uptime = (
+            0.0 if self._started_at is None else time.monotonic() - self._started_at
+        )
+        return {
+            "uptime_seconds": round(uptime, 3),
+            "requests": {
+                "total": sum(by_endpoint.values()),
+                "by_endpoint": by_endpoint,
+                "errors": by_error,
+                "rejected_admission": self.admission.stats()["rejected"],
+                "rejected_quota": self.quotas.rejected,
+            },
+            "runs_served": runs_served,
+            "cache": {**self.cache.stats(), "engines": self.cache.entries()},
+            "coalescer": self.coalescer.stats(),
+            "admission": self.admission.stats(),
+            "tenants": self.quotas.usage(),
+            "store_dir": self._store_dir,
+        }

@@ -45,16 +45,23 @@ and how much to shift the base seed when continuing an interrupted batch::
 Stores are plain files: aggregate them offline with ``load_results()`` /
 ``load_cells()`` / ``iter_records()``, concatenate shards with ``cat``, and
 version them like any other artifact.
+
+Appends are serialised by a lock, so many threads (e.g. the request handlers
+of :mod:`repro.serve`) can share one store without corrupting the JSONL
+framing, and a ``tenant`` namespace (see :meth:`ResultStore.for_tenant`)
+stamps and filters records per tenant for multi-tenant deployments.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from .exceptions import StoreError
+from .exceptions import InvalidParameterError, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .api.engine import SweepCell
@@ -94,6 +101,13 @@ class ResultStore:
     path:
         The backing file.  Parent directories are created on the first
         write; a missing file reads as an empty store.
+    tenant:
+        Optional namespace: when set, every written record is stamped with a
+        ``"tenant"`` field and the reading methods only surface records of
+        that tenant, so several tenants can safely share one file (or — the
+        layout :func:`ResultStore.for_tenant` builds — one directory of
+        per-tenant files).  ``None`` keeps the historical single-tenant
+        behaviour: nothing is stamped, everything is read.
 
     Notes
     -----
@@ -103,21 +117,60 @@ class ResultStore:
     guarantee is per record; :meth:`close` (or using the store as a context
     manager) releases the handle, and a closed store transparently reopens
     on the next write.
+
+    Appends are **thread-safe**: a lock serialises the open-and-write of
+    every record, so concurrent writers (the worker threads of
+    :mod:`repro.serve`, or any threaded harness) can share one store without
+    ever interleaving partial JSONL lines.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    #: Tenant names must be safe as both record values and file stems.
+    _TENANT_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+    def __init__(self, path: str | os.PathLike, tenant: str | None = None) -> None:
         self._path = Path(path)
         self._handle = None
+        self._tenant = self._validate_tenant(tenant) if tenant is not None else None
+        # Serialises handle management and record writes across threads: one
+        # record, one atomic append, whatever the writer count.
+        self._write_lock = threading.Lock()
+
+    @staticmethod
+    def _validate_tenant(tenant: str) -> str:
+        if not isinstance(tenant, str) or not ResultStore._TENANT_PATTERN.match(tenant):
+            raise InvalidParameterError(
+                f"tenant names must match [A-Za-z0-9][A-Za-z0-9._-]*, got {tenant!r}"
+            )
+        return tenant
+
+    @classmethod
+    def for_tenant(cls, directory: str | os.PathLike, tenant: str) -> "ResultStore":
+        """A tenant-namespaced store: ``<directory>/<tenant>.jsonl``.
+
+        The per-tenant-file layout the :mod:`repro.serve` daemon uses: each
+        tenant appends to its own file (no cross-tenant write contention, a
+        tenant's data can be shipped or deleted as one file) and every record
+        is still stamped with the tenant, so files concatenated across
+        tenants remain separable.
+        """
+        tenant = cls._validate_tenant(tenant)
+        return cls(Path(directory) / f"{tenant}.jsonl", tenant=tenant)
 
     @property
     def path(self) -> Path:
         """The backing JSONL file."""
         return self._path
 
+    @property
+    def tenant(self) -> str | None:
+        """The namespace the store writes and reads, or ``None`` (all records)."""
+        return self._tenant
+
     def __repr__(self) -> str:
         # No record count here: computing it re-reads the whole backing file
         # (and would make repr itself fail on a corrupt store).
-        return f"ResultStore(path={str(self._path)!r})"
+        namespace = "" if self._tenant is None else f", tenant={self._tenant!r}"
+        return f"ResultStore(path={str(self._path)!r}{namespace})"
 
     def __len__(self) -> int:
         """Total number of records (of any kind) in the store."""
@@ -125,9 +178,10 @@ class ResultStore:
 
     def close(self) -> None:
         """Release the appending handle (reopened automatically on next write)."""
-        if self._handle is not None and not self._handle.closed:
-            self._handle.close()
-        self._handle = None
+        with self._write_lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -145,11 +199,14 @@ class ResultStore:
     def _write_lines(self, records: Iterable[dict[str, Any]]) -> int:
         written = 0
         try:
-            handle = self._append_handle()
-            for record in records:
-                handle.write(json.dumps(record, default=_json_default) + "\n")
-                handle.flush()
-                written += 1
+            with self._write_lock:
+                handle = self._append_handle()
+                for record in records:
+                    if self._tenant is not None:
+                        record.setdefault("tenant", self._tenant)
+                    handle.write(json.dumps(record, default=_json_default) + "\n")
+                    handle.flush()
+                    written += 1
         except TypeError as error:
             raise StoreError(f"cannot serialize record to JSON: {error}") from error
         except OSError as error:
@@ -201,8 +258,13 @@ class ResultStore:
         self._write_lines([record])
 
     # -- reading -----------------------------------------------------------
-    def iter_records(self) -> Iterator[dict[str, Any]]:
-        """Yield every record of the file as a dict, in write order."""
+    def iter_records(self, all_tenants: bool = False) -> Iterator[dict[str, Any]]:
+        """Yield every record of the file as a dict, in write order.
+
+        A tenant-namespaced store only yields its own tenant's records;
+        *all_tenants* lifts the filter (for offline aggregation across a
+        shared file).
+        """
         if not self._path.exists():
             return
         try:
@@ -222,6 +284,12 @@ class ResultStore:
                         raise StoreError(
                             f"{self._path}:{line_number}: record has no 'kind' field"
                         )
+                    if (
+                        not all_tenants
+                        and self._tenant is not None
+                        and record.get("tenant") != self._tenant
+                    ):
+                        continue
                     yield record
         except OSError as error:
             raise StoreError(f"cannot read {self._path}: {error}") from error
