@@ -19,6 +19,7 @@ import os
 import time
 from random import Random
 
+import snapshot
 from repro.core import MaxLegalCondition
 from repro.core.recognizing import extend_to_view
 
@@ -96,6 +97,16 @@ def test_indexed_condition_beats_naive_scan(capsys):
             f"{len(_condition())} vectors: scan {queries / naive_seconds:,.0f} q/s, "
             f"indexed {queries / indexed_seconds:,.0f} q/s, speed-up ×{speedup:.1f}"
         )
+    snapshot.record(
+        "explicit_condition",
+        {
+            "queries": queries,
+            "vectors": len(_condition()),
+            "naive_q_per_s": round(queries / naive_seconds, 1),
+            "indexed_q_per_s": round(queries / indexed_seconds, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
 
     # Locally the observed win is one to two orders of magnitude; on shared CI
     # runners keep headroom against wall-clock noise.

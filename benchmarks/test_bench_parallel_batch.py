@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+import snapshot
 from repro.api import AgreementSpec, Engine, RunConfig
 from repro.workloads import vector_in_max_condition
 
@@ -93,6 +94,17 @@ def test_parallel_batch_matches_and_beats_serial(capsys):
             f"{RUNS / parallel_seconds:,.0f} runs/s, speed-up ×{speedup:.2f} "
             f"({cores} usable core(s))"
         )
+    snapshot.record(
+        "parallel_batch",
+        {
+            "runs": RUNS,
+            "chunk_size": CHUNK_SIZE,
+            "serial_runs_per_s": round(RUNS / serial_seconds, 1),
+            "parallel_runs_per_s": round(RUNS / parallel_seconds, 1),
+            "workers": WORKERS,
+            "speedup": round(speedup, 3),
+        },
+    )
 
     if cores < WORKERS:
         # One or two cores cannot run 4 simulators at once; the run above

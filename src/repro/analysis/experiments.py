@@ -1,4 +1,4 @@
-"""The experiment harness: one function per paper artifact (E1–E15).
+"""The experiment harness: one function per paper artifact (E1–E16).
 
 Every experiment function returns an :class:`ExperimentOutput` containing the
 rows of the regenerated table, a list of pass/fail checks comparing the
@@ -940,6 +940,110 @@ def experiment_async_adversaries(seed: int = 37) -> ExperimentOutput:
 
 
 # ----------------------------------------------------------------------
+# E16 — the message-passing backend across failure models
+# ----------------------------------------------------------------------
+def experiment_net_failure_models(seed: int = 41) -> ExperimentOutput:
+    """E16: net failure models — decision rounds per family, determinism, exhaustive fault check."""
+    output = ExperimentOutput(
+        "E16",
+        "Message-passing failure models: decision rounds, determinism, exhaustive fault check",
+    )
+    from ..net.adversary import count_faults
+    from ..workloads.scenarios import net_scenario
+
+    n, m, t, k = 5, 6, 2, 1
+    spec = AgreementSpec(n=n, t=t, k=k, domain=m)
+    engine = Engine(spec, "floodmin")
+    sync_result = engine.run(
+        net_scenario(n, m, t, k, seed=seed).input_vector, backend="sync"
+    )
+
+    parity = True
+    deterministic = True
+    benign_safe = True
+    for family in (
+        "fault-free",
+        "send-omission",
+        "receive-omission",
+        "message-loss",
+        "bounded-delay",
+        "byzantine-corrupt",
+    ):
+        scenario = net_scenario(n, m, t, k, adversary=family, seed=seed)
+        result = scenario.run(seed=7)
+        replay = scenario.run(seed=7)
+        deterministic &= (
+            result.fingerprint == replay.fingerprint
+            and result.decisions == replay.decisions
+        )
+        if family == "fault-free":
+            # The explicit message matrix with no interference must reproduce
+            # the sync backend's implicit broadcast exactly.
+            parity = (
+                result.decisions == sync_result.decisions
+                and result.duration == sync_result.duration
+            )
+        if family != "byzantine-corrupt":
+            correct_decided = {
+                value
+                for pid, value in result.decisions.items()
+                if pid not in result.crashed
+            }
+            benign_safe &= len(correct_decided) <= k and result.terminated
+        output.rows.append(
+            {
+                "family": family,
+                "faults": result.raw.fault_count,
+                "rounds": result.duration,
+                "last decision": result.raw.max_decision_round(),
+                "distinct decisions": result.distinct_decision_count(),
+                "terminated": result.terminated,
+                "fingerprint": result.fingerprint[:8] if result.fingerprint else "-",
+            }
+        )
+    output.checks.append(
+        ("the fault-free net run reproduces the sync backend exactly", parity)
+    )
+    output.checks.append(
+        ("executions are deterministic: same seed ⇒ same fingerprint and decisions", deterministic)
+    )
+    output.checks.append(
+        ("every benign family keeps FloodMin within k decisions and terminating", benign_safe)
+    )
+
+    # The exhaustive fault-space check on a tiny system: every send-omission
+    # assignment, cross-validated against the closed form.
+    check_spec = AgreementSpec(n=3, t=1, k=1, domain=2)
+    report = Engine(check_spec, "floodmin").check(
+        backend="net", adversary="send-omission"
+    )
+    output.rows.append(
+        {
+            "family": "enumerated send-omission",
+            "faults": f"<= {report.max_faults}",
+            "rounds": report.rounds,
+            "last decision": "-",
+            "distinct decisions": "-",
+            "terminated": "-",
+            "fingerprint": "-",
+        }
+    )
+    output.checks.append(
+        ("the exhaustive fault-space check passes every oracle on every assignment", report.passed)
+    )
+    output.checks.append(
+        (
+            "the enumerated fault count matches the closed form",
+            report.fault_count
+            == count_faults(
+                "send-omission", check_spec.n, report.rounds, report.max_faults
+            ),
+        )
+    )
+    return output
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EXPERIMENTS: dict[str, Callable[[], ExperimentOutput]] = {
@@ -958,6 +1062,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentOutput]] = {
     "E13": experiment_condition_families,
     "E14": experiment_exhaustive_check,
     "E15": experiment_async_adversaries,
+    "E16": experiment_net_failure_models,
 }
 
 
@@ -971,7 +1076,7 @@ def list_experiments() -> list[tuple[str, str]]:
 
 
 def run_experiment(experiment_id: str) -> ExperimentOutput:
-    """Run one experiment by id (``"E1"`` ... ``"E15"``)."""
+    """Run one experiment by id (``"E1"`` ... ``"E16"``)."""
     try:
         function = EXPERIMENTS[experiment_id.upper()]
     except KeyError:

@@ -58,6 +58,8 @@ from ..asynchronous.executor import AsyncExecutor
 from ..core.conditions import ConditionOracle
 from ..core.vectors import InputVector, View
 from ..exceptions import BackendError, InvalidParameterError, ReproError
+from ..net.adversary import NetAdversary, resolve_net_adversary
+from ..net.runtime import NetSystem
 from ..sync.adversary import CrashSchedule
 from ..sync.process import SynchronousAlgorithm
 from ..sync.runtime import SynchronousSystem
@@ -267,6 +269,7 @@ class Engine:
         self._spec = spec
         self._config = config or RunConfig()
         self._system: SynchronousSystem | None = None
+        self._net_system_cache = None
         # One asynchronous substrate (SharedMemory + process pool) per engine,
         # built lazily and reset between runs instead of reallocated per run.
         self._async_executor_cache: AsyncExecutor | None = None
@@ -286,9 +289,12 @@ class Engine:
                 if self._entry.uses_condition
                 else None
             )
+            # The net backend drives the same round-based process objects as
+            # sync, so net-only entries (e.g. never-terminating mutants that
+            # the sync watchdog would reject) still get a built algorithm.
             self._sync_algorithm = (
                 self._entry.build(spec, self._condition)
-                if self._entry.supports("sync")
+                if self._entry.supports("sync") or self._entry.supports("net")
                 else None
             )
             self._degree = self._entry.agreement_degree(spec)
@@ -377,6 +383,7 @@ class Engine:
             executor.close()
             self._async_executor_cache = None
         self._system = None
+        self._net_system_cache = None
         self._validated_schedules.clear()
         if self._condition is not None:
             self._condition.clear()
@@ -398,6 +405,7 @@ class Engine:
         max_steps: int | None = None,
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: "NetAdversary | str | None" = None,
     ) -> RunResult:
         """Execute one vector and return the normalized :class:`RunResult`.
 
@@ -408,6 +416,18 @@ class Engine:
         step budget and is async-only (the synchronous backend is bounded by
         the algorithm's own round bound); passing it with ``backend="sync"``
         raises, as do the other async-only knobs below.
+
+        On the message-passing backend (``backend="net"``) the adversary is a
+        *failure model* over individual messages: *net_adversary* is a
+        registry name from :data:`repro.net.NET_ADVERSARIES`
+        (``"fault-free"``, ``"send-omission"``, ``"message-loss"``, ...) or a
+        :class:`~repro.net.NetAdversary` instance; ``None`` uses the config's
+        default (``"fault-free"``).  *seed* feeds the seeded failure models,
+        so one ``(vector, net_adversary, seed)`` triple is fully
+        deterministic — the result's ``fingerprint`` digests the realized
+        fault matrix.  The net backend takes no crash schedule (pass ``None``
+        or an empty schedule) and rejects the async-only knobs; conversely
+        *net_adversary* raises on the other two backends.
 
         On the asynchronous backend the schedule's crash events project onto
         crash *points*: a process crashing in round ``r`` takes ``r - 1``
@@ -436,6 +456,7 @@ class Engine:
             max_steps,
             async_adversary=async_adversary,
             crash_steps=crash_steps,
+            net_adversary=net_adversary,
         )
 
     # -- batched runs --------------------------------------------------------
@@ -450,6 +471,7 @@ class Engine:
         store: "ResultStore | None" = None,
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: "NetAdversary | str | None" = None,
         seeds: Iterable[int] | None = None,
     ) -> list[RunResult]:
         """Execute many vectors through one chunked, memoized pipeline.
@@ -492,9 +514,12 @@ class Engine:
         interrupted batch keeps what it already computed.
 
         *async_adversary* and *crash_steps* apply to every run of the batch
-        (asynchronous backend only, same contract as :meth:`run`); parallel
-        batches require the adversary as a registry name, since strategy
-        instances do not travel to workers.
+        (asynchronous backend only, same contract as :meth:`run`);
+        *net_adversary* picks the failure model of every run on the
+        message-passing backend (each run still re-seeds it with its own
+        derived seed, so runs stay independent).  Parallel batches require
+        either adversary as a registry name, since strategy instances do not
+        travel to workers.
 
         Work shared across the batch: condition membership, the predicate
         ``P`` and view decoding (memoized for the engine's lifetime), the
@@ -513,6 +538,7 @@ class Engine:
                 store=store,
                 async_adversary=async_adversary,
                 crash_steps=crash_steps,
+                net_adversary=net_adversary,
                 seeds=seeds,
             )
         )
@@ -528,6 +554,7 @@ class Engine:
         store: "ResultStore | None" = None,
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: "NetAdversary | str | None" = None,
         seeds: Iterable[int] | None = None,
     ) -> Iterator[RunResult]:
         """Stream the batch: yield each :class:`RunResult` as it completes.
@@ -587,11 +614,18 @@ class Engine:
                 f"(got the instance {async_adversary.name!r}); strategy objects "
                 "do not travel to workers"
             )
+        if worker_count > 1 and isinstance(net_adversary, NetAdversary):
+            raise InvalidParameterError(
+                "parallel batches need the net adversary as a registry name "
+                f"(got a {type(net_adversary).__name__} instance); failure-model "
+                "objects do not travel to workers"
+            )
 
         staged_chunks = self._staged_chunks(iter(vectors), pairing, chunk, seed_stream)
         if worker_count == 1:
             return self._iter_serial(
-                staged_chunks, backend, store, async_adversary, crash_steps
+                staged_chunks, backend, store, async_adversary, crash_steps,
+                net_adversary,
             )
         from ..parallel import execute_batch
 
@@ -603,6 +637,7 @@ class Engine:
             store=store,
             async_adversary=async_adversary,
             crash_steps=crash_steps,
+            net_adversary=net_adversary,
         )
 
     def _iter_serial(
@@ -612,6 +647,7 @@ class Engine:
         store: "ResultStore | None",
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: "NetAdversary | str | None" = None,
     ) -> Iterator[RunResult]:
         for staged in staged_chunks:
             for normalised, crash_schedule, seed in staged:
@@ -623,6 +659,7 @@ class Engine:
                     None,
                     async_adversary=async_adversary,
                     crash_steps=crash_steps,
+                    net_adversary=net_adversary,
                 )
                 if store is not None:
                     store.append(result)
@@ -707,6 +744,8 @@ class Engine:
         rounds: int | None = None,
         depth: int | None = None,
         max_crashes: int | None = None,
+        adversary: str | None = None,
+        max_faults: int | None = None,
         vectors: Iterable[InputVector | Sequence[Any]] | None = None,
         oracles: Iterable[str] | None = None,
         workers: int | None = None,
@@ -717,7 +756,7 @@ class Engine:
     ):
         """Verify the bound algorithm over **every** adversary of its model.
 
-        Model checking, not sampling — on both backends:
+        Model checking, not sampling — on all three backends:
 
         * ``backend="sync"`` (the default): the complete Section 6.2 schedule
           space for ``(spec.n, spec.t)`` with crash rounds in ``[1, rounds]``
@@ -735,8 +774,22 @@ class Engine:
           cross-validated against its closed form, and evaluated by the
           asynchronous oracles (validity, l-agreement, in-condition
           termination within budget, the per-process step budget).  Returns
-          an :class:`repro.check.AsyncCheckReport`.  *rounds* is sync-only;
-          *depth* / *max_crashes* are async-only.
+          an :class:`repro.check.AsyncCheckReport`.
+        * ``backend="net"``: the complete fault space of one message-level
+          failure model — *adversary* names the family
+          (:data:`repro.net.NET_ADVERSARIES`; required) and *max_faults*
+          bounds the fault count (default ``spec.t``): every static omission
+          assignment of at most *max_faults* victims, or every set of at
+          most *max_faults* dropped / delayed / corrupted channels over
+          ``rounds`` rounds (default: the algorithm's round bound) — is
+          enumerated through :func:`repro.net.enumerate_faults`,
+          cross-validated against :func:`repro.net.count_faults`, and
+          evaluated by the applicability-gated net oracles (validity and
+          agreement claim nothing under ``byzantine-corrupt``; termination
+          always applies).  Returns a :class:`repro.check.NetCheckReport`.
+
+        *rounds* is sync/net-only; *depth* / *max_crashes* are async-only;
+        *adversary* / *max_faults* are net-only.
 
         Either way each adversary is executed against a deterministic input
         frontier (*vectors* if given; otherwise all ``m^n`` vectors when
@@ -749,9 +802,35 @@ class Engine:
         *store* persists the counterexamples as JSONL records.
         """
         backend = backend or "sync"
-        if backend not in ("sync", "async"):
+        if backend not in ("sync", "async", "net"):
             raise BackendError(
-                f"unknown backend {backend!r}; expected 'sync' or 'async'"
+                f"unknown backend {backend!r}; expected 'sync', 'async' or 'net'"
+            )
+        if backend != "net" and (adversary is not None or max_faults is not None):
+            raise InvalidParameterError(
+                "adversary and max_faults select the message-level fault "
+                f"space; the {backend} check does not take them"
+            )
+        if backend == "net":
+            if depth is not None or max_crashes is not None:
+                raise InvalidParameterError(
+                    "depth and max_crashes bound the asynchronous interleaving "
+                    "space; the net check takes adversary=, max_faults= and rounds="
+                )
+            from ..check.net_checker import run_net_check
+
+            return run_net_check(
+                self,
+                adversary=adversary,
+                rounds=rounds,
+                max_faults=max_faults,
+                vectors=vectors,
+                oracles=oracles,
+                workers=workers,
+                store=store,
+                max_counterexamples=max_counterexamples,
+                max_vectors=max_vectors,
+                all_vectors_limit=all_vectors_limit,
             )
         if backend == "async":
             if rounds is not None:
@@ -805,6 +884,7 @@ class Engine:
         store: "ResultStore | None" = None,
         async_adversary: str | None = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: str | None = None,
         seed: int | None = None,
     ) -> list[SweepCell]:
         """Run a batch for every combination of the *grid* spec overrides.
@@ -830,7 +910,9 @@ class Engine:
         order, so an interrupted sweep keeps its finished cells.
         *async_adversary* (a registry name — sweeps always stay picklable)
         and *crash_steps* apply to every run of every cell on the
-        asynchronous backend, same contract as :meth:`run`.  *seed* overrides
+        asynchronous backend, and *net_adversary* (also a registry name)
+        picks the failure model of every run on the message-passing
+        backend, same contract as :meth:`run`.  *seed* overrides
         the config's base seed for the whole sweep (cell *i* keeps deriving
         ``seed + i``), byte-identical to sweeping an engine whose config
         carries that seed — which is how :mod:`repro.serve` serves
@@ -854,11 +936,17 @@ class Engine:
                 store=store,
                 async_adversary=async_adversary,
                 crash_steps=crash_steps,
+                net_adversary=net_adversary,
             )
         if isinstance(async_adversary, AsyncAdversary):
             raise InvalidParameterError(
                 "sweep needs the async adversary as a registry name (cells "
                 f"must stay picklable); got the instance {async_adversary.name!r}"
+            )
+        if isinstance(net_adversary, NetAdversary):
+            raise InvalidParameterError(
+                "sweep needs the net adversary as a registry name (cells must "
+                f"stay picklable); got a {type(net_adversary).__name__} instance"
             )
         if self._entry is None:
             raise InvalidParameterError(
@@ -891,12 +979,13 @@ class Engine:
             cell_stream = execute_sweep(
                 self, combos, runs_per_cell, vectors, schedule, backend, worker_count,
                 async_adversary=async_adversary, crash_steps=crash_steps,
+                net_adversary=net_adversary,
             )
         else:
             cell_stream = (
                 self._sweep_cell(
                     overrides, index, runs_per_cell, vectors, schedule, backend,
-                    async_adversary, crash_steps,
+                    async_adversary, crash_steps, net_adversary,
                 )
                 for index, overrides in enumerate(combos)
             )
@@ -919,6 +1008,7 @@ class Engine:
         backend: str | None,
         async_adversary: str | None = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: str | None = None,
     ) -> SweepCell:
         """Execute one sweep cell (shared by the serial and parallel paths)."""
         from ..workloads.vectors import (
@@ -984,6 +1074,7 @@ class Engine:
             results = engine.run_batch(
                 batch, schedule, backend=backend, workers=1,
                 async_adversary=async_adversary, crash_steps=crash_steps,
+                net_adversary=net_adversary,
             )
         except ReproError as error:  # bad parameter combos report; bugs raise
             return SweepCell(
@@ -1088,6 +1179,19 @@ class Engine:
             )
         return self._system
 
+    def _net_system(self) -> NetSystem:
+        if self._net_system_cache is None:
+            if self._sync_algorithm is None:
+                raise BackendError(
+                    f"algorithm {self._algorithm_name!r} has no round-based factory"
+                )
+            self._net_system_cache = NetSystem(
+                n=self._spec.n,
+                t=self._spec.t,
+                algorithm=self._sync_algorithm,
+            )
+        return self._net_system_cache
+
     def _async_executor(self) -> AsyncExecutor:
         """The engine's reusable asynchronous substrate (one per spec)."""
         if self._async_executor_cache is None:
@@ -1154,15 +1258,24 @@ class Engine:
         max_steps: int | None,
         async_adversary: "AsyncAdversary | str | None" = None,
         crash_steps: Mapping[int, int] | None = None,
+        net_adversary: "NetAdversary | str | None" = None,
     ) -> RunResult:
-        if backend not in ("sync", "async"):
-            raise BackendError(f"unknown backend {backend!r}; expected 'sync' or 'async'")
+        if backend not in ("sync", "async", "net"):
+            raise BackendError(
+                f"unknown backend {backend!r}; expected 'sync', 'async' or 'net'"
+            )
         if backend not in self.backends():
             raise BackendError(
                 f"algorithm {self._algorithm_name!r} does not run on the {backend!r} "
                 f"backend (supported: {', '.join(self.backends())})"
             )
-        if backend == "sync":
+        if backend != "net" and net_adversary is not None:
+            raise InvalidParameterError(
+                "net_adversary picks the message-level failure model and only "
+                "applies to the net backend"
+            )
+        if backend in ("sync", "net"):
+            model = "crash schedule" if backend == "sync" else "net adversary"
             for name, value in (
                 ("max_steps", max_steps),
                 ("async_adversary", async_adversary),
@@ -1171,11 +1284,17 @@ class Engine:
                 if value is not None:
                     raise InvalidParameterError(
                         f"{name} only applies to the asynchronous backend; the "
-                        "synchronous backend is driven by the crash schedule and "
+                        f"{backend} backend is driven by the {model} and "
                         "its round bound"
                     )
         elif max_steps is not None and max_steps < 1:
             raise InvalidParameterError(f"max_steps must be >= 1, got {max_steps}")
+        if backend == "net" and len(schedule) > 0:
+            raise InvalidParameterError(
+                "the net backend takes no crash schedule — its failure model "
+                "is the net adversary (crash-style omission is the "
+                "'send-omission' family)"
+            )
         self._validate_once(schedule)
         in_condition = self._membership(vector)
         condition_name = self._condition.name if self._condition is not None else None
@@ -1183,6 +1302,18 @@ class Engine:
         if backend == "sync":
             result = self._sync_system().run(vector, schedule, validate_schedule=False)
             return RunResult.from_sync(
+                result, self._algorithm_name, in_condition, condition_name
+            )
+
+        if backend == "net":
+            adversary = resolve_net_adversary(
+                self._config.net_adversary if net_adversary is None else net_adversary,
+                self._spec.n,
+                self._spec.t,
+                seed,
+            )
+            result = self._net_system().run(vector, adversary, seed=seed)
+            return RunResult.from_net(
                 result, self._algorithm_name, in_condition, condition_name
             )
 

@@ -111,7 +111,10 @@ class AlgorithmEntry:
     name:
         The registry key.
     backends:
-        The backends the algorithm runs on (subset of ``{"sync", "async"}``).
+        The backends the algorithm runs on (subset of ``{"sync", "async",
+        "net"}`` — the message-passing backend drives the same round-based
+        process objects as ``"sync"``, so synchronous algorithms usually
+        declare both).
         Condition-based entries support both: the synchronous Figure 2
         algorithm and its Section 4 shared-memory counterpart share the same
         condition oracle.
@@ -208,7 +211,7 @@ def available_schedules() -> tuple[str, ...]:
 # ----------------------------------------------------------------------
 @register_algorithm(
     "condition-kset",
-    ("sync", "async"),
+    ("sync", "async", "net"),
     "Figure 2: condition-based k-set agreement (the paper's contribution)",
 )
 def _build_condition_kset(spec: AgreementSpec, condition: ConditionOracle):
@@ -227,7 +230,7 @@ def _build_condition_kset(spec: AgreementSpec, condition: ConditionOracle):
 
 @register_algorithm(
     "condition-consensus",
-    ("sync", "async"),
+    ("sync", "async", "net"),
     "k = l = 1 special case: condition-based consensus (MRR)",
     agreement_degree=lambda spec: 1,
 )
@@ -241,7 +244,7 @@ def _build_condition_consensus(spec: AgreementSpec, condition: ConditionOracle):
 
 @register_algorithm(
     "floodmin",
-    ("sync",),
+    ("sync", "net"),
     "classical ⌊t/k⌋ + 1-round FloodMin k-set agreement baseline",
     uses_condition=False,
 )
@@ -251,7 +254,7 @@ def _build_floodmin(spec: AgreementSpec, condition: ConditionOracle):
 
 @register_algorithm(
     "flood-consensus",
-    ("sync",),
+    ("sync", "net"),
     "classical t + 1-round FloodSet consensus baseline",
     agreement_degree=lambda spec: 1,
     uses_condition=False,
@@ -266,7 +269,7 @@ def _build_flood_consensus(spec: AgreementSpec, condition: ConditionOracle):
 
 @register_algorithm(
     "early-deciding",
-    ("sync",),
+    ("sync", "net"),
     "Section 8: early-deciding k-set agreement, min(⌊f/k⌋ + 2, ⌊t/k⌋ + 1) rounds",
     uses_condition=False,
 )

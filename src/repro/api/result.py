@@ -31,6 +31,7 @@ from typing import Any, Mapping
 from ..asynchronous.scheduler import AsyncExecutionResult
 from ..core.vectors import InputVector
 from ..exceptions import InvalidParameterError
+from ..net.runtime import NetExecutionResult
 from ..sync.adversary import CrashEvent, CrashSchedule
 from ..sync.runtime import ExecutionResult
 from ..sync.trace import ExecutionTrace
@@ -44,7 +45,7 @@ class RunResult:
 
     #: Registry key (or display name) of the algorithm that ran.
     algorithm: str
-    #: ``"sync"`` or ``"async"``.
+    #: ``"sync"``, ``"async"`` or ``"net"``.
     backend: str
     n: int
     t: int
@@ -53,11 +54,12 @@ class RunResult:
     decisions: dict[int, Any] = field(default_factory=dict)
     #: Mapping process id -> decision time, in :attr:`time_unit` units.
     decision_times: dict[int, int] = field(default_factory=dict)
-    #: Processes that crashed (sync: during the run; async: never scheduled).
+    #: Processes that crashed (sync: during the run; async: never scheduled;
+    #: net: the adversary's omission-faulty victim set).
     crashed: frozenset[int] = frozenset()
-    #: Rounds executed (sync) or total steps granted (async).
+    #: Rounds executed (sync/net) or total steps granted (async).
     duration: int = 0
-    #: ``"rounds"`` (sync) or ``"steps"`` (async).
+    #: ``"rounds"`` (sync/net) or ``"steps"`` (async).
     time_unit: str = "rounds"
     #: Every correct process decided.
     terminated: bool = True
@@ -70,14 +72,15 @@ class RunResult:
     #: The crash schedule that was applied (``None`` on the async backend when
     #: crashes were injected directly).
     schedule: CrashSchedule | None = None
-    #: Short digest of the asynchronous interleaving (``None`` on the sync
-    #: backend): two async runs interleaved identically exactly when their
+    #: Short digest of the execution's nondeterminism source (``None`` on the
+    #: sync backend): the async interleaving or the net backend's realized
+    #: fault matrix — two runs behaved identically exactly when their
     #: fingerprints match, which is how batch/store records prove parity.
     fingerprint: str | None = None
     #: Full synchronous trace when one was recorded.
     trace: ExecutionTrace | None = None
     #: The backend-native result object.
-    raw: ExecutionResult | AsyncExecutionResult | None = None
+    raw: ExecutionResult | AsyncExecutionResult | NetExecutionResult | None = None
 
     # -- derived facts -------------------------------------------------------
     @property
@@ -274,6 +277,41 @@ class RunResult:
         )
 
     @classmethod
+    def from_net(
+        cls,
+        result: NetExecutionResult,
+        algorithm: str,
+        in_condition: bool | None = None,
+        condition: str | None = None,
+    ) -> "RunResult":
+        """Normalize a message-passing :class:`NetExecutionResult`.
+
+        ``crashed`` carries the adversary's omission-faulty *process* set
+        (empty for the message-granular failure models) so the derived
+        ``correct_processes`` / ``terminated`` facts keep their "every
+        non-faulty process decided" semantics.
+        """
+        return cls(
+            algorithm=algorithm,
+            backend="net",
+            n=result.n,
+            t=result.t,
+            input_vector=result.input_vector,
+            decisions=dict(result.decisions),
+            decision_times=dict(result.decision_rounds),
+            crashed=result.faulty,
+            duration=result.rounds_executed,
+            time_unit="rounds",
+            terminated=result.all_correct_decided(),
+            in_condition=in_condition,
+            condition=condition,
+            schedule=None,
+            fingerprint=result.fingerprint or None,
+            trace=None,
+            raw=result,
+        )
+
+    @classmethod
     def normalize(
         cls,
         result: "RunResult | ExecutionResult | AsyncExecutionResult",
@@ -287,6 +325,8 @@ class RunResult:
             return result
         if isinstance(result, ExecutionResult):
             return cls.from_sync(result, algorithm, in_condition)
+        if isinstance(result, NetExecutionResult):
+            return cls.from_net(result, algorithm, in_condition)
         if isinstance(result, AsyncExecutionResult):
             if input_vector is None:
                 raise InvalidParameterError(

@@ -34,7 +34,7 @@ from ..exceptions import InvalidParameterError
 __all__ = ["AgreementSpec", "RunConfig"]
 
 #: Backends understood by the engine.
-BACKENDS = ("sync", "async")
+BACKENDS = ("sync", "async", "net")
 
 
 def _freeze(value: Any) -> Any:
@@ -218,6 +218,14 @@ class RunConfig:
         feeds it); ``"round-robin"`` and ``"latency-skew"`` are the regular
         and speed-skewed strategies.  An explicit adversary passed to the
         engine always wins.
+    net_adversary:
+        Default failure model of the message-passing backend, by registry
+        name (:data:`repro.net.NET_ADVERSARIES`).  The default,
+        ``"fault-free"``, delivers every message in its send round (the
+        sync baseline); the fault models are ``"send-omission"``,
+        ``"receive-omission"``, ``"message-loss"``, ``"bounded-delay"`` and
+        ``"byzantine-corrupt"``.  An explicit adversary passed to the
+        engine always wins.
     chunk_size:
         Number of runs processed per chunk by :meth:`repro.api.Engine.run_batch`.
     workers:
@@ -235,6 +243,7 @@ class RunConfig:
     record_trace: bool = False
     max_steps_per_process: int = 200
     async_adversary: str = "random"
+    net_adversary: str = "fault-free"
     chunk_size: int = 64
     workers: int = 1
 
@@ -258,6 +267,13 @@ class RunConfig:
             raise InvalidParameterError(
                 f"unknown async adversary {self.async_adversary!r}; registered "
                 f"strategies: {', '.join(sorted(ASYNC_ADVERSARIES))}"
+            )
+        from ..net.adversary import NET_ADVERSARIES
+
+        if self.net_adversary not in NET_ADVERSARIES:
+            raise InvalidParameterError(
+                f"unknown net adversary {self.net_adversary!r}; registered "
+                f"failure models: {', '.join(sorted(NET_ADVERSARIES))}"
             )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise InvalidParameterError(f"workers must be an integer >= 1, got {self.workers!r}")

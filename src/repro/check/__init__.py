@@ -28,7 +28,12 @@ The pieces:
   asynchronous counterpart: every bounded interleaving prefix × every crash
   assignment of the shared-memory model (closed form cross-validated),
   evaluated by the Section 4 property oracles (validity, ``l``-agreement,
-  in-condition termination within budget, the per-process step budget).
+  in-condition termination within budget, the per-process step budget);
+* :mod:`repro.check.net_checker` / :mod:`repro.check.net_oracles` — the
+  message-passing counterpart: every fault assignment of a net failure-model
+  family (omission sets, lost-message subsets, delay/corruption maps — closed
+  forms cross-validated), evaluated by applicability-gated oracles so
+  crash-only theorems are reported ``n/a`` under ``byzantine-corrupt``.
 
 Entry points::
 
@@ -37,6 +42,10 @@ Entry points::
 
     async_report = Engine(spec, "condition-kset").check(
         backend="async", depth=3, workers=4
+    )
+
+    net_report = Engine(spec, "floodmin").check(
+        backend="net", adversary="send-omission", workers=4
     )
 
     diff = differential_check(spec, "condition-kset", "mutant-hasty-floodmin")
@@ -67,12 +76,23 @@ from .checker import (
 )
 from .frontier import input_frontier
 from .mutants import (
+    MUTANT_ECHOLESS_FLOODMIN,
     MUTANT_HASTY_ASYNC,
     MUTANT_HASTY_FLOODMIN,
+    MUTANT_SILENT_FLOODMIN,
+    EcholessFloodMin,
     HastyAsyncProcess,
     HastyFloodMin,
+    SilentFloodMin,
     register_mutants,
 )
+from .net_checker import (
+    NetCheckReport,
+    NetCounterexample,
+    check_net_slice,
+    run_net_check,
+)
+from .net_oracles import NET_ORACLES, NetCheckContext, default_net_oracle_names
 from .oracles import ORACLES, CheckContext, PropertyOracle, default_oracle_names
 
 __all__ = [
@@ -85,17 +105,27 @@ __all__ = [
     "Counterexample",
     "DecisionDiff",
     "DifferentialReport",
+    "EcholessFloodMin",
     "HastyAsyncProcess",
     "HastyFloodMin",
+    "MUTANT_ECHOLESS_FLOODMIN",
     "MUTANT_HASTY_ASYNC",
     "MUTANT_HASTY_FLOODMIN",
+    "MUTANT_SILENT_FLOODMIN",
+    "NET_ORACLES",
+    "NetCheckContext",
+    "NetCheckReport",
+    "NetCounterexample",
     "ORACLES",
     "OracleTally",
     "PropertyOracle",
+    "SilentFloodMin",
     "check_async_slice",
+    "check_net_slice",
     "check_slice",
     "count_async_adversaries",
     "default_async_oracle_names",
+    "default_net_oracle_names",
     "default_oracle_names",
     "differential_check",
     "enumerate_async_adversaries",
@@ -103,4 +133,5 @@ __all__ = [
     "register_mutants",
     "run_async_check",
     "run_check",
+    "run_net_check",
 ]

@@ -13,6 +13,21 @@ crash schedule (a round-1 crash delivering to a strict prefix) under which
 two correct processes decide different values with ``k = 1`` — the
 exhaustive checker finds it within the first few hundred schedules.
 
+:class:`EcholessFloodMin` is the message-passing sibling: its processes
+broadcast their *original proposal* every round instead of the learned
+minimum.  Fault-free this is invisible (everyone hears every proposal
+directly), but the correct-to-correct *relay* is exactly what makes FloodMin
+omission-tolerant — under a static send-omission adversary that cuts the
+direct channel from the minimum's proposer to some receiver, that receiver
+never learns the minimum and k-agreement breaks.  The fault-space checker of
+:mod:`repro.check.net_checker` must find such an assignment.
+
+:class:`SilentFloodMin` never decides at all.  The synchronous runtime's
+watchdog would turn that into a :class:`~repro.exceptions.SimulationError`;
+the net runtime deliberately has no watchdog, so the mutant runs to its
+round bound with every process undecided — the ``net-termination`` oracle's
+job to flag.  It is registered for the net backend only.
+
 :class:`HastyAsyncProcess` is the asynchronous sibling: it skips the
 ``P(J)`` compatibility check of the Section 4 algorithm and decides the
 maximum of whatever ``n − x`` proposals its snapshot shows.  Two processes
@@ -30,20 +45,30 @@ replay.
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from ..algorithms.async_condition_set_agreement import AsyncConditionSetAgreementProcess
-from ..algorithms.classic_kset import FloodMinKSetAgreement
+from ..algorithms.classic_kset import FloodMinKSetAgreement, FloodMinProcess
 from ..api.registry import ALGORITHMS, AlgorithmEntry
 
 __all__ = [
     "HastyFloodMin",
+    "EcholessFloodMin",
+    "SilentFloodMin",
     "HastyAsyncProcess",
     "MUTANT_HASTY_FLOODMIN",
+    "MUTANT_ECHOLESS_FLOODMIN",
+    "MUTANT_SILENT_FLOODMIN",
     "MUTANT_HASTY_ASYNC",
     "register_mutants",
 ]
 
 #: Registry key of the hasty FloodMin mutant (after :func:`register_mutants`).
 MUTANT_HASTY_FLOODMIN = "mutant-hasty-floodmin"
+#: Registry key of the echoless FloodMin mutant (after :func:`register_mutants`).
+MUTANT_ECHOLESS_FLOODMIN = "mutant-echoless-floodmin"
+#: Registry key of the silent FloodMin mutant (after :func:`register_mutants`).
+MUTANT_SILENT_FLOODMIN = "mutant-silent-floodmin"
 #: Registry key of the hasty asynchronous mutant (after :func:`register_mutants`).
 MUTANT_HASTY_ASYNC = "mutant-hasty-async"
 
@@ -63,6 +88,67 @@ class HastyFloodMin(FloodMinKSetAgreement):
 
     def decision_round(self) -> int:
         return max(1, super().decision_round() - 1)
+
+
+class _EcholessFloodMinProcess(FloodMinProcess):
+    """Broadcasts the original proposal instead of the learned minimum."""
+
+    def on_initialize(self, proposal: Any) -> None:
+        super().on_initialize(proposal)
+        self._proposal = proposal
+
+    def message_for_round(self, round_number: int) -> Any:
+        return self._proposal
+
+
+class EcholessFloodMin(FloodMinKSetAgreement):
+    """FloodMin without the relay — deliberately omission-intolerant.
+
+    Each process still takes the minimum over what it hears and decides at
+    the usual round, but it floods its *original proposal* every round, never
+    the learned minimum.  Correct processes therefore stop relaying values
+    for each other: whoever a faulty sender statically omits to can never
+    recover that sender's value through a third party, and a send-omission
+    assignment cutting the minimum's proposer off from one receiver breaks
+    k-agreement (e.g. ``n=3, t=1, k=1``, proposals ``[1, 2, 2]``, victim 0
+    omitting to process 1: process 2 hears 1 and decides 1, process 1 never
+    does and decides 2).
+    """
+
+    @property
+    def name(self) -> str:
+        return (
+            f"echoless FloodMin {self.k}-set agreement (t={self.t}, no relay)"
+        )
+
+    def create_process(self, process_id: int, n: int, t: int) -> FloodMinProcess:
+        return _EcholessFloodMinProcess(process_id, n, self.t, self)
+
+
+class _SilentFloodMinProcess(FloodMinProcess):
+    """Keeps flooding but never calls :meth:`decide`."""
+
+    def receive_round(self, round_number: int, messages: Mapping[int, Any]) -> None:
+        values = list(messages.values())
+        values.append(self._estimate)
+        self._estimate = min(values)
+
+
+class SilentFloodMin(FloodMinKSetAgreement):
+    """FloodMin that never decides — deliberately non-terminating.
+
+    Only runnable on the net backend: the synchronous runtime's watchdog
+    raises when correct processes outlive the round bound, while the net
+    runtime surfaces the violation as a ``terminated=False`` finding for the
+    ``net-termination`` oracle.
+    """
+
+    @property
+    def name(self) -> str:
+        return f"silent FloodMin {self.k}-set agreement (t={self.t}, never decides)"
+
+    def create_process(self, process_id: int, n: int, t: int) -> FloodMinProcess:
+        return _SilentFloodMinProcess(process_id, n, self.t, self)
 
 
 class HastyAsyncProcess(AsyncConditionSetAgreementProcess):
@@ -104,6 +190,36 @@ def register_mutants() -> tuple[str, ...]:
                 uses_condition=False,
             ),
         )
+    if MUTANT_ECHOLESS_FLOODMIN not in ALGORITHMS:
+        ALGORITHMS.add(
+            MUTANT_ECHOLESS_FLOODMIN,
+            AlgorithmEntry(
+                name=MUTANT_ECHOLESS_FLOODMIN,
+                backends=frozenset({"sync", "net"}),
+                build=lambda spec, condition: EcholessFloodMin(t=spec.t, k=spec.k),
+                agreement_degree=lambda spec: spec.k,
+                summary=(
+                    "deliberately broken FloodMin (no relay; breaks under "
+                    "send-omission) — net checker self-test"
+                ),
+                uses_condition=False,
+            ),
+        )
+    if MUTANT_SILENT_FLOODMIN not in ALGORITHMS:
+        ALGORITHMS.add(
+            MUTANT_SILENT_FLOODMIN,
+            AlgorithmEntry(
+                name=MUTANT_SILENT_FLOODMIN,
+                backends=frozenset({"net"}),
+                build=lambda spec, condition: SilentFloodMin(t=spec.t, k=spec.k),
+                agreement_degree=lambda spec: spec.k,
+                summary=(
+                    "deliberately broken FloodMin (never decides) — "
+                    "net-termination oracle self-test"
+                ),
+                uses_condition=False,
+            ),
+        )
     if MUTANT_HASTY_ASYNC not in ALGORITHMS:
         ALGORITHMS.add(
             MUTANT_HASTY_ASYNC,
@@ -124,4 +240,9 @@ def register_mutants() -> tuple[str, ...]:
                 ),
             ),
         )
-    return (MUTANT_HASTY_FLOODMIN, MUTANT_HASTY_ASYNC)
+    return (
+        MUTANT_HASTY_FLOODMIN,
+        MUTANT_ECHOLESS_FLOODMIN,
+        MUTANT_SILENT_FLOODMIN,
+        MUTANT_HASTY_ASYNC,
+    )

@@ -17,12 +17,14 @@ demonstrations without writing any Python::
     repro demo --algorithm floodmin --crashes 3  # the classical baseline
     repro demo --backend async                   # same spec, shared memory
     repro demo --backend async --adversary latency-skew   # another interleaver
+    repro demo --backend net --adversary message-loss     # message-passing run
     repro demo --runs 16 --workers 4             # a parallel batch of runs
     repro sweep --grid d=1,2,3 --grid k=1,2 --workers 4 --store cells.jsonl
     repro check --n 4 --t 1 --d 1 --k 1          # verify EVERY crash schedule
     repro check --n 4 --t 2 --k 2 --d 1 --workers 4 --store ce.jsonl
     repro check --n 3 --t 1 --k 1 --d 1 --differential floodmin
     repro check --backend async --n 3 --t 1 --d 0 --m 2 --depth 2  # every bounded interleaving
+    repro check --backend net --algorithm floodmin --adversary send-omission  # every fault assignment
     repro serve --port 8765 --store-dir results/  # agreement-as-a-service daemon
 
 Every execution goes through the unified :class:`repro.api.Engine`, so the
@@ -58,6 +60,7 @@ from .api import (
 )
 from .asynchronous.adversary import available_async_adversaries
 from .core.lattice import ConditionLattice
+from .net.adversary import available_net_adversaries
 from .workloads.vectors import vector_in_condition, vector_in_max_condition
 
 __all__ = ["main", "build_parser"]
@@ -165,14 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument(
         "--backend",
         default="sync",
-        choices=("sync", "async"),
+        choices=("sync", "async", "net"),
         help="execution backend (default sync)",
     )
     demo_parser.add_argument(
         "--adversary",
-        default="random",
-        choices=available_async_adversaries(),
-        help="async scheduling strategy (async backend only; default random)",
+        default=None,
+        choices=available_async_adversaries() + available_net_adversaries(),
+        help=(
+            "async scheduling strategy or net failure model, matched to the "
+            "backend (defaults: random / fault-free)"
+        ),
     )
     demo_parser.add_argument(
         "--condition",
@@ -240,14 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--backend",
         default="sync",
-        choices=("sync", "async"),
+        choices=("sync", "async", "net"),
         help="execution backend (default sync)",
     )
     sweep_parser.add_argument(
         "--adversary",
-        default="random",
-        choices=available_async_adversaries(),
-        help="async scheduling strategy (async backend only; default random)",
+        default=None,
+        choices=available_async_adversaries() + available_net_adversaries(),
+        help=(
+            "async scheduling strategy or net failure model, matched to the "
+            "backend (defaults: random / fault-free)"
+        ),
     )
     sweep_parser.add_argument(
         "--schedule",
@@ -275,10 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--backend",
         default="sync",
-        choices=("sync", "async"),
+        choices=("sync", "async", "net"),
         help=(
-            "which adversary space to enumerate: sync crash schedules or "
-            "async bounded interleavings (default sync)"
+            "which adversary space to enumerate: sync crash schedules, "
+            "async bounded interleavings, or net message-fault assignments "
+            "(default sync)"
         ),
     )
     check_parser.add_argument("--n", type=int, default=4)
@@ -310,7 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--rounds",
         type=int,
         default=None,
-        help="deepest crash round enumerated (sync only; default: the ⌊t/k⌋+1 deadline)",
+        help=(
+            "deepest crash round (sync) or enumerated fault round (net); "
+            "default: the algorithm's round bound"
+        ),
     )
     check_parser.add_argument(
         "--depth",
@@ -323,6 +336,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="largest enumerated faulty-set size (async only; default x = t − d)",
+    )
+    check_parser.add_argument(
+        "--adversary",
+        default=None,
+        choices=available_net_adversaries(),
+        help="failure-model family to enumerate (net only; default send-omission)",
+    )
+    check_parser.add_argument(
+        "--max-faults",
+        type=int,
+        default=None,
+        help="largest enumerated fault budget (net only; default t)",
     )
     check_parser.add_argument(
         "--workers",
@@ -549,6 +574,31 @@ def _command_conditions(arguments) -> int:
     return 0 if report.legal else 1
 
 
+def _resolve_adversaries(backend: str, adversary: str | None) -> tuple[str, str]:
+    """Split the shared ``--adversary`` flag into (async, net) config knobs.
+
+    The flag accepts both namespaces (they are disjoint); which one is meant
+    is decided by the backend, and naming one from the wrong namespace is an
+    error rather than a silently ignored knob.
+    """
+    if adversary is None:
+        return "random", "fault-free"
+    net_names = available_net_adversaries()
+    if backend == "net":
+        if adversary not in net_names:
+            raise InvalidParameterError(
+                f"--adversary {adversary!r} is an async scheduling strategy; "
+                f"the net backend takes a failure model: {', '.join(net_names)}"
+            )
+        return "random", adversary
+    if adversary in net_names:
+        raise InvalidParameterError(
+            f"--adversary {adversary!r} is a net failure model; the "
+            f"{backend} backend takes: {', '.join(available_async_adversaries())}"
+        )
+    return adversary, "fault-free"
+
+
 def _demo_vector(engine: Engine, spec: AgreementSpec, seed: int):
     if spec.condition != "max-legal" and engine.condition is not None:
         return vector_in_condition(engine.condition, spec.n, spec.domain, Random(seed))
@@ -569,13 +619,20 @@ def _command_demo(arguments) -> int:
         condition=arguments.condition,
         condition_params=parse_condition_params(arguments.param),
     )
+    async_adversary, net_adversary = _resolve_adversaries(backend, arguments.adversary)
+    if backend == "net" and crashes > 0:
+        raise InvalidParameterError(
+            "--crashes drives the sync crash schedule; the net backend models "
+            "failures with --adversary"
+        )
     config = RunConfig(
         backend=backend,
         schedule="round-one" if crashes > 0 else "none",
         crashes=crashes,
         seed=seed,
         record_trace=backend == "sync" and runs == 1,
-        async_adversary=arguments.adversary,
+        async_adversary=async_adversary,
+        net_adversary=net_adversary,
         workers=workers,
     )
     engine = Engine(spec, algorithm, config)
@@ -608,7 +665,10 @@ def _command_demo(arguments) -> int:
     print(f"condition        : {result.condition or 'n/a'}")
     print(f"input vector     : {list(vector.entries)}")
     print(f"in the condition : {membership}")
-    print(f"crash schedule   : {crashes} crash(es) in round 1")
+    if backend == "net":
+        print(f"failure model    : {net_adversary}")
+    else:
+        print(f"crash schedule   : {crashes} crash(es) in round 1")
     print(f"{result.time_unit} executed  : {result.duration}")
     print(f"decisions        : {dict(sorted(result.decisions.items()))}")
     print(
@@ -643,12 +703,23 @@ def _command_sweep(arguments) -> int:
         ell=arguments.ell,
         domain=arguments.m,
     )
+    async_adversary, net_adversary = _resolve_adversaries(
+        arguments.backend, arguments.adversary
+    )
+    if arguments.backend == "net" and (
+        arguments.crashes > 0 or arguments.schedule != "none"
+    ):
+        raise InvalidParameterError(
+            "--schedule/--crashes drive the sync crash schedule; the net "
+            "backend models failures with --adversary"
+        )
     config = RunConfig(
         backend=arguments.backend,
         schedule=arguments.schedule,
         crashes=arguments.crashes,
         seed=arguments.seed,
-        async_adversary=arguments.adversary,
+        async_adversary=async_adversary,
+        net_adversary=net_adversary,
         workers=arguments.workers,
     )
     engine = Engine(spec, arguments.algorithm, config)
@@ -744,6 +815,8 @@ def _command_check(arguments) -> int:
         rounds=arguments.rounds,
         depth=arguments.depth,
         max_crashes=arguments.max_crashes,
+        adversary=arguments.adversary,
+        max_faults=arguments.max_faults,
         store=store,
         max_counterexamples=arguments.max_counterexamples,
         max_vectors=arguments.max_vectors,
@@ -752,7 +825,10 @@ def _command_check(arguments) -> int:
     print(report.render())
     if store is not None:
         counts = store.counts()
-        kind = "async-counterexample" if arguments.backend == "async" else "counterexample"
+        kind = {
+            "async": "async-counterexample",
+            "net": "net-counterexample",
+        }.get(arguments.backend, "counterexample")
         print(
             f"store            : {store.path} "
             f"({counts.get(kind, 0)} {kind} records)"

@@ -1,0 +1,386 @@
+"""The synchronous *message-passing* execution engine.
+
+:class:`~repro.sync.runtime.SynchronousSystem` broadcasts implicitly: a live
+process's payload lands in every inbox unless a crash event truncates the
+receiver set.  :class:`NetSystem` makes the message plane explicit — every
+round builds a full ``(sender, receiver) -> payload`` matrix and every
+non-self entry is passed through a :class:`~repro.net.adversary.NetAdversary`
+before delivery, so faults act on *individual messages*:
+
+* ``send -> adversary filter -> deliver`` per channel, in a fixed order
+  (sender ascending, receiver ascending) so seeded adversaries are
+  deterministic;
+* dropped channels simply never reach the inbox;
+* delayed channels mature ``δ`` rounds later — *after* the lock-step receive
+  phase of their own round has closed.  In the round-based model a message
+  that misses its round is an omission for the receiver (payload shapes may
+  even differ between rounds, so retroactive delivery would be unsound); the
+  runtime therefore never mutates a later round's inbox but keeps the full
+  audit trail: ``late`` when the payload matured on its own, ``superseded``
+  when a fresher same-sender delivery made it moot, ``expired`` when it
+  matured only after the final round;
+* corrupted channels deliver a different *source* process's payload for the
+  round (equivocation — type-safe for every payload shape the algorithms
+  flood), falling back to a drop when the impersonated source sent nothing.
+
+The runtime drives the same :class:`~repro.sync.process.RoundBasedProcess`
+objects as the sync backend, so every registered synchronous algorithm runs
+unmodified under the new failure models, and a run under the ``fault-free``
+adversary reproduces the sync backend's failure-free execution exactly.
+
+Unlike the sync engine there is **no watchdog exception**: an algorithm that
+blows its round bound under message faults is a *finding*, not a harness
+error — the run stops at the round limit with the undecided processes
+reported through :meth:`NetExecutionResult.all_correct_decided`, which is
+what the ``net-termination`` oracle checks.
+
+Every execution carries a :attr:`~NetExecutionResult.fingerprint`: a blake2b
+digest of the realized fault events, inputs and decisions.  Two runs
+interleaved the faults identically exactly when their fingerprints match —
+the seed-determinism handle for the stochastic adversaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Mapping
+
+from ..core.vectors import InputVector
+from ..exceptions import InvalidParameterError, SimulationError
+from ..sync.process import RoundBasedProcess, SynchronousAlgorithm
+from .adversary import NetAdversary
+
+__all__ = ["FaultEvent", "NetExecutionResult", "NetSystem"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One adversary intervention on one channel of the message matrix."""
+
+    round_number: int
+    sender: int
+    receiver: int
+    #: ``"dropped"``, ``"delayed"``, ``"corrupted"``, ``"late"`` (a delayed
+    #: message maturing in a later round, discarded by the round discipline),
+    #: ``"superseded"`` (matured alongside a fresher delivery from the same
+    #: sender) or ``"expired"`` (maturing after the final round).
+    outcome: str
+    #: The delay in rounds, the impersonated source, or ``None``.
+    detail: int | None = None
+
+    def to_tuple(self) -> tuple:
+        """The hashable, JSON-friendly form used by fingerprints and records."""
+        return (self.round_number, self.sender, self.receiver, self.outcome, self.detail)
+
+
+@dataclass
+class NetExecutionResult:
+    """The outcome of one message-passing execution.
+
+    The shape mirrors :class:`~repro.sync.runtime.ExecutionResult` with the
+    crash picture replaced by the adversary's fault picture: ``faulty`` is
+    the set of omission-faulty *processes* (empty for the message-granular
+    models) and ``fault_events`` the realized per-message interventions.
+    """
+
+    n: int
+    t: int
+    input_vector: InputVector
+    adversary_family: str
+    adversary_description: str
+    decisions: dict[int, Any] = field(default_factory=dict)
+    decision_rounds: dict[int, int] = field(default_factory=dict)
+    #: Omission-faulty processes (the adversary's victim set).
+    faulty: frozenset[int] = frozenset()
+    rounds_executed: int = 0
+    delivered_count: int = 0
+    #: The adversary's realized interventions, in execution order.
+    fault_events: tuple[FaultEvent, ...] = ()
+    #: blake2b digest of (parameters, inputs, fault events, decisions).
+    fingerprint: str = ""
+
+    # -- derived facts -------------------------------------------------------
+    @property
+    def correct_processes(self) -> frozenset[int]:
+        """The processes the adversary did not make faulty."""
+        return frozenset(range(self.n)) - self.faulty
+
+    @property
+    def fault_count(self) -> int:
+        """Number of adversary interventions that actually happened."""
+        return len(self.fault_events)
+
+    def decided_values(self) -> frozenset[Any]:
+        """The set of distinct decided values."""
+        return frozenset(self.decisions.values())
+
+    def distinct_decision_count(self) -> int:
+        """Number of distinct decided values (≤ k for k-set agreement)."""
+        return len(self.decided_values())
+
+    def max_decision_round(self) -> int:
+        """The latest round at which some process decided (0 when nobody did)."""
+        return max(self.decision_rounds.values(), default=0)
+
+    def all_correct_decided(self) -> bool:
+        """Termination: did every non-faulty process decide?"""
+        return all(pid in self.decisions for pid in self.correct_processes)
+
+    def summary(self) -> str:
+        """One-line description used by examples and experiment logs."""
+        return (
+            f"n={self.n} t={self.t} adversary={self.adversary_description} "
+            f"faults={self.fault_count} rounds={self.rounds_executed} "
+            f"decided={self.distinct_decision_count()} value(s) "
+            f"latest_decision_round={self.max_decision_round()}"
+        )
+
+
+class NetSystem:
+    """A synchronous message-passing system running one algorithm.
+
+    Parameters mirror :class:`~repro.sync.runtime.SynchronousSystem`; the
+    failure model is supplied per run as a :class:`NetAdversary` instead of
+    a crash schedule.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        algorithm: SynchronousAlgorithm,
+        max_rounds: int | None = None,
+    ) -> None:
+        if n < 1:
+            raise InvalidParameterError(f"the system needs at least one process, got n={n}")
+        if not 0 <= t < n:
+            raise InvalidParameterError(f"t must satisfy 0 <= t < n, got t={t}, n={n}")
+        self._n = n
+        self._t = t
+        self._algorithm = algorithm
+        self._max_rounds = max_rounds
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @property
+    def t(self) -> int:
+        """Nominal fault budget of the system."""
+        return self._t
+
+    @property
+    def algorithm(self) -> SynchronousAlgorithm:
+        """The algorithm executed by the system."""
+        return self._algorithm
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        proposals: InputVector | Mapping[int, Any] | list[Any],
+        adversary: NetAdversary,
+        *,
+        seed: int = 0,
+    ) -> NetExecutionResult:
+        """Execute the algorithm on *proposals* under *adversary*.
+
+        *seed* feeds the adversary's :meth:`~NetAdversary.begin_run`, so
+        stochastic failure models are deterministic functions of it; the
+        enumerated models ignore it.
+        """
+        input_vector = self._normalise_proposals(proposals)
+        adversary.begin_run(self._n, seed)
+
+        processes = self._create_processes()
+        for process_id, process in processes.items():
+            process.initialize(input_vector[process_id])
+
+        result = NetExecutionResult(
+            n=self._n,
+            t=self._t,
+            input_vector=input_vector,
+            adversary_family=adversary.family,
+            adversary_description=adversary.describe(),
+            faulty=adversary.faulty,
+        )
+        events: list[FaultEvent] = []
+        #: Delayed payloads keyed by maturity round.
+        pending: dict[int, list[tuple[int, int, Any]]] = {}
+        round_limit = (
+            self._max_rounds
+            if self._max_rounds is not None
+            else self._algorithm.max_rounds(self._n, self._t)
+        )
+
+        round_number = 0
+        while round_number < round_limit:
+            live = [
+                pid for pid, process in processes.items() if not process.has_halted()
+            ]
+            if not live:
+                break
+            round_number += 1
+            self._run_one_round(
+                round_number, processes, adversary, pending, result, events
+            )
+
+        # Delayed messages that never matured are lost to the run.
+        for maturity in sorted(pending):
+            for sender_id, receiver_id, _payload in pending[maturity]:
+                events.append(
+                    FaultEvent(maturity, sender_id, receiver_id, "expired")
+                )
+
+        result.rounds_executed = round_number
+        result.fault_events = tuple(events)
+        result.fingerprint = self._fingerprint(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _normalise_proposals(
+        self, proposals: InputVector | Mapping[int, Any] | list[Any]
+    ) -> InputVector:
+        if isinstance(proposals, InputVector):
+            vector = proposals
+        elif isinstance(proposals, Mapping):
+            try:
+                vector = InputVector(proposals[pid] for pid in range(self._n))
+            except KeyError as missing:
+                raise InvalidParameterError(
+                    f"no proposal for process {missing.args[0]}"
+                ) from None
+        else:
+            vector = InputVector(proposals)
+        if len(vector) != self._n:
+            raise InvalidParameterError(
+                f"expected {self._n} proposals, got {len(vector)}"
+            )
+        return vector
+
+    def _create_processes(self) -> dict[int, RoundBasedProcess]:
+        processes = {}
+        for process_id in range(self._n):
+            process = self._algorithm.create_process(process_id, self._n, self._t)
+            if not isinstance(process, RoundBasedProcess):
+                raise SimulationError(
+                    f"{self._algorithm.name}.create_process returned "
+                    f"{type(process).__name__}, not a RoundBasedProcess"
+                )
+            processes[process_id] = process
+        return processes
+
+    def _run_one_round(
+        self,
+        round_number: int,
+        processes: dict[int, RoundBasedProcess],
+        adversary: NetAdversary,
+        pending: dict[int, list[tuple[int, int, Any]]],
+        result: NetExecutionResult,
+        events: list[FaultEvent],
+    ) -> None:
+        # --- send phase: the explicit message matrix ------------------------
+        payloads: dict[int, Any] = {}
+        for sender_id in range(self._n):
+            process = processes[sender_id]
+            if process.has_halted():
+                continue
+            payloads[sender_id] = process.message_for_round(round_number)
+
+        # --- adversary filter, channel by channel ---------------------------
+        inboxes: dict[int, dict[int, Any]] = {pid: {} for pid in range(self._n)}
+        for sender_id in sorted(payloads):
+            payload = payloads[sender_id]
+            for receiver_id in range(self._n):
+                if receiver_id == sender_id:
+                    # Self-channels are untouchable: a process always sees
+                    # its own message (RoundBasedProcess contract).
+                    inboxes[receiver_id][sender_id] = payload
+                    result.delivered_count += 1
+                    continue
+                action = adversary.treat(round_number, sender_id, receiver_id)
+                verb = action[0]
+                if verb == "deliver":
+                    inboxes[receiver_id][sender_id] = payload
+                    result.delivered_count += 1
+                elif verb == "drop":
+                    events.append(
+                        FaultEvent(round_number, sender_id, receiver_id, "dropped")
+                    )
+                elif verb == "delay":
+                    delta = action[1]
+                    pending.setdefault(round_number + delta, []).append(
+                        (sender_id, receiver_id, payload)
+                    )
+                    events.append(
+                        FaultEvent(
+                            round_number, sender_id, receiver_id, "delayed", delta
+                        )
+                    )
+                elif verb == "corrupt":
+                    source = action[1]
+                    if source in payloads:
+                        inboxes[receiver_id][sender_id] = payloads[source]
+                        result.delivered_count += 1
+                        events.append(
+                            FaultEvent(
+                                round_number, sender_id, receiver_id, "corrupted", source
+                            )
+                        )
+                    else:
+                        # The impersonated source sent nothing this round —
+                        # the corruption degenerates to an omission.
+                        events.append(
+                            FaultEvent(round_number, sender_id, receiver_id, "dropped")
+                        )
+                else:  # pragma: no cover - adversary contract violation
+                    raise SimulationError(
+                        f"{adversary.describe()} returned unknown action {action!r}"
+                    )
+
+        # --- matured delays: too late for the lock-step round ---------------
+        # Payload shapes may differ between rounds (condition-kset floods the
+        # proposal in round 1 and a state triple after), so a stale payload
+        # must never land in a later round's inbox — maturities are audited,
+        # not delivered.
+        for sender_id, receiver_id, _payload in pending.pop(round_number, []):
+            outcome = (
+                "superseded" if sender_id in inboxes[receiver_id] else "late"
+            )
+            events.append(
+                FaultEvent(round_number, sender_id, receiver_id, outcome)
+            )
+
+        # --- receive + computation phases -----------------------------------
+        for receiver_id in range(self._n):
+            process = processes[receiver_id]
+            if process.has_halted():
+                continue
+            process.receive_round(round_number, inboxes[receiver_id])
+            if process.has_decided() and receiver_id not in result.decisions:
+                result.decisions[receiver_id] = process.decision
+                result.decision_rounds[receiver_id] = (
+                    process.decision_round or round_number
+                )
+
+    def _fingerprint(self, result: NetExecutionResult) -> str:
+        digest = blake2b(digest_size=16)
+        digest.update(
+            repr(
+                (
+                    result.n,
+                    result.t,
+                    result.adversary_family,
+                    tuple(result.input_vector.entries),
+                    tuple(event.to_tuple() for event in result.fault_events),
+                    tuple(sorted(result.decisions.items())),
+                    tuple(sorted(result.decision_rounds.items())),
+                )
+            ).encode()
+        )
+        return digest.hexdigest()

@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us lazily)
     from .api.spec import AgreementSpec, RunConfig
     from .check.async_checker import AsyncCounterexample
     from .check.checker import Counterexample, OracleTally
+    from .check.net_checker import NetCounterexample
     from .store import ResultStore
 
 __all__ = [
@@ -59,10 +60,13 @@ __all__ = [
     "CheckShard",
     "ChunkOutcome",
     "CheckOutcome",
+    "NetCheckShard",
+    "NetCheckOutcome",
     "execute_batch",
     "execute_sweep",
     "execute_check",
     "execute_async_check",
+    "execute_net_check",
 ]
 
 #: Outstanding tasks kept in flight per worker: enough to hide scheduling
@@ -87,6 +91,8 @@ class BatchChunk:
     #: travels as a registry name (strategy objects stay in the parent).
     async_adversary: str | None = None
     crash_steps: tuple[tuple[int, int], ...] | None = None
+    #: Net-backend failure model, as a registry name for the same reason.
+    net_adversary: str | None = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,7 @@ class CellTask:
     schedule: CrashSchedule | str | None
     async_adversary: str | None = None
     crash_steps: tuple[tuple[int, int], ...] | None = None
+    net_adversary: str | None = None
 
 
 @dataclass
@@ -188,6 +195,44 @@ class AsyncCheckOutcome:
     stats: dict[str, tuple[int, int]]
 
 
+@dataclass(frozen=True)
+class NetCheckShard:
+    """One contiguous slice of a message-level failure model's fault space.
+
+    ``[start, stop)`` indexes into the deterministic stream of
+    :func:`repro.net.enumerate_faults`; the worker re-derives the fault
+    assignments from the indices, exactly like the other check shards
+    re-derive their adversaries.
+    """
+
+    spec: "AgreementSpec"
+    algorithm: str
+    config: "RunConfig"
+    adversary: str
+    rounds: int
+    max_faults: int
+    start: int
+    #: ``None`` on the final shard: it reads the stream to exhaustion so an
+    #: over-producing generator is caught by the closed-form cross-check.
+    stop: int | None
+    vectors: tuple[InputVector, ...]
+    oracle_names: tuple[str, ...]
+    max_counterexamples: int
+    index: int
+
+
+@dataclass
+class NetCheckOutcome:
+    """What a worker sends back for one net check shard."""
+
+    index: int
+    enumerated: int
+    executions: int
+    tallies: list["OracleTally"]
+    counterexamples: list["NetCounterexample"]
+    stats: dict[str, tuple[int, int]]
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -220,6 +265,7 @@ def _execute_chunk(chunk: BatchChunk) -> ChunkOutcome:
         engine._execute(
             vector, schedule, seed, chunk.backend, None,
             async_adversary=chunk.async_adversary, crash_steps=crash_steps,
+            net_adversary=chunk.net_adversary,
         )
         for vector, schedule, seed in chunk.runs
     ]
@@ -243,6 +289,7 @@ def _execute_cell(task: CellTask) -> "SweepCell":
         task.backend,
         task.async_adversary,
         None if task.crash_steps is None else dict(task.crash_steps),
+        task.net_adversary,
     )
 
 
@@ -310,6 +357,40 @@ def _execute_async_check_shard(shard: AsyncCheckShard) -> AsyncCheckOutcome:
     )
 
 
+def _execute_net_check_shard(shard: NetCheckShard) -> NetCheckOutcome:
+    """Check one fault-space slice in the worker (same code path as serial)."""
+    from .api.registry import ALGORITHMS
+    from .check.net_checker import check_net_slice
+
+    if shard.algorithm not in ALGORITHMS:
+        # Mutants are registered at runtime (never at import); re-run the
+        # idempotent registration in spawned/forkserver workers.
+        from .check.mutants import register_mutants
+
+        register_mutants()
+    engine = _worker_engine(shard.spec, shard.algorithm, shard.config)
+    before = _stats_snapshot(engine)
+    enumerated, executions, tallies, counterexamples = check_net_slice(
+        engine,
+        shard.adversary,
+        shard.rounds,
+        shard.max_faults,
+        shard.start,
+        shard.stop,
+        shard.vectors,
+        shard.oracle_names,
+        shard.max_counterexamples,
+    )
+    after = _stats_snapshot(engine)
+    deltas = {
+        name: (hits - before[name][0], misses - before[name][1])
+        for name, (hits, misses) in after.items()
+    }
+    return NetCheckOutcome(
+        shard.index, enumerated, executions, tallies, counterexamples, deltas
+    )
+
+
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
@@ -322,6 +403,7 @@ def execute_batch(
     store: "ResultStore | None" = None,
     async_adversary: str | None = None,
     crash_steps: Mapping[int, int] | None = None,
+    net_adversary: str | None = None,
 ) -> Iterator["RunResult"]:
     """Stream a staged batch through a process pool, in batch order.
 
@@ -357,6 +439,7 @@ def execute_batch(
                     runs=tuple(staged),
                     async_adversary=async_adversary,
                     crash_steps=frozen_crash_steps,
+                    net_adversary=net_adversary,
                 )
                 pending[next_to_submit] = pool.submit(_execute_chunk, chunk)
                 next_to_submit += 1
@@ -382,6 +465,7 @@ def execute_sweep(
     *,
     async_adversary: str | None = None,
     crash_steps: Mapping[int, int] | None = None,
+    net_adversary: str | None = None,
 ) -> Iterator["SweepCell"]:
     """Shard the sweep's cells across a process pool, yielding in cell order.
 
@@ -404,6 +488,7 @@ def execute_sweep(
             schedule=schedule,
             async_adversary=async_adversary,
             crash_steps=frozen_crash_steps,
+            net_adversary=net_adversary,
         )
         for index, overrides in enumerate(combos)
     ]
@@ -498,5 +583,51 @@ def execute_async_check(
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         for outcome in pool.map(_execute_async_check_shard, shards):
+            engine._absorb_worker_stats(outcome.stats)
+            yield outcome
+
+
+def execute_net_check(
+    engine: "Engine",
+    adversary: str,
+    rounds: int,
+    max_faults: int,
+    fault_count: int,
+    vectors: tuple[InputVector, ...],
+    oracle_names: tuple[str, ...],
+    workers: int,
+    max_counterexamples: int,
+) -> Iterator[NetCheckOutcome]:
+    """Shard a message-level fault space across a process pool.
+
+    Same contract as :func:`execute_check`, over the net backend's space:
+    ``[0, fault_count)`` indexes :func:`repro.net.enumerate_faults`, outcomes
+    are yielded **in shard order**, the final shard reads to exhaustion so an
+    over-producing generator is detected, and worker cache-stat deltas are
+    merged into *engine* before each outcome is handed over — which is what
+    makes the merged report byte-identical to the serial one.
+    """
+    shard_target = max(1, workers * SUBMIT_WINDOW_PER_WORKER)
+    shard_size = max(1, -(-fault_count // shard_target))
+    starts = list(range(0, fault_count, shard_size))
+    shards = [
+        NetCheckShard(
+            spec=engine.spec,
+            algorithm=engine.algorithm_name,
+            config=engine.config,
+            adversary=adversary,
+            rounds=rounds,
+            max_faults=max_faults,
+            start=start,
+            stop=None if start == starts[-1] else start + shard_size,
+            vectors=vectors,
+            oracle_names=oracle_names,
+            max_counterexamples=max_counterexamples,
+            index=index,
+        )
+        for index, start in enumerate(starts)
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for outcome in pool.map(_execute_net_check_shard, shards):
             engine._absorb_worker_stats(outcome.stats)
             yield outcome

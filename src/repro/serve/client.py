@@ -15,13 +15,18 @@
   :class:`~repro.exceptions.ServeError` for everything else).
 
 Every call opens a fresh connection (the daemon serves HTTP/1.0), so one
-client instance may be shared across threads.
+client instance may be shared across threads.  A connection-*refused* socket
+(the daemon still binding, a supervisor restarting it) is retried a bounded
+number of times with exponential backoff before giving up — refusal happens
+before the request is sent, so the retry can never double-execute work; any
+other socket error stays fail-fast.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from http.client import HTTPConnection, HTTPResponse
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -65,6 +70,14 @@ class ServeClient:
         uses the server's default tenant.
     timeout:
         Socket timeout per request, in seconds.
+    connect_retries:
+        How many times a *connection-refused* socket is retried before the
+        call fails with :class:`~repro.exceptions.ServeError`.  Refusal
+        happens before any bytes are sent, so retrying is always safe;
+        every other socket error fails immediately.
+    retry_backoff:
+        Base sleep (seconds) between connection retries; attempt *i* waits
+        ``retry_backoff * 2**i``.
     """
 
     def __init__(
@@ -74,11 +87,21 @@ class ServeClient:
         *,
         tenant: str | None = None,
         timeout: float = 120.0,
+        connect_retries: int = 3,
+        retry_backoff: float = 0.05,
     ) -> None:
+        if connect_retries < 0:
+            raise ServeError(
+                f"connect_retries must be >= 0, got {connect_retries}"
+            )
+        if retry_backoff < 0:
+            raise ServeError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self._host = host
         self._port = port
         self._tenant = tenant
         self._timeout = timeout
+        self._connect_retries = connect_retries
+        self._retry_backoff = retry_backoff
 
     def __repr__(self) -> str:
         tenant = f", tenant={self._tenant!r}" if self._tenant else ""
@@ -86,20 +109,36 @@ class ServeClient:
 
     # -- plumbing ----------------------------------------------------------
     def _open(self, method: str, path: str, payload: Mapping[str, Any] | None):
-        connection = HTTPConnection(self._host, self._port, timeout=self._timeout)
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        try:
-            connection.request(method, path, body=body, headers=headers)
-            return connection, connection.getresponse()
-        except OSError as error:
-            connection.close()
-            raise ServeError(
-                f"cannot reach repro serve at {self._host}:{self._port}: {error}"
-            ) from None
+        attempts = self._connect_retries + 1
+        refused: ConnectionRefusedError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._retry_backoff * 2 ** (attempt - 1))
+            connection = HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                return connection, connection.getresponse()
+            except ConnectionRefusedError as error:
+                # Refusal precedes the request bytes: retrying cannot
+                # double-execute anything on the server.
+                connection.close()
+                refused = error
+            except OSError as error:
+                connection.close()
+                raise ServeError(
+                    f"cannot reach repro serve at {self._host}:{self._port}: {error}"
+                ) from None
+        raise ServeError(
+            f"cannot reach repro serve at {self._host}:{self._port} after "
+            f"{attempts} attempt(s): {refused}"
+        ) from None
 
     @staticmethod
     def _raise_for_error(status: int, payload: Mapping[str, Any]) -> None:
@@ -284,6 +323,8 @@ class ServeClient:
         rounds: int | None = None,
         depth: int | None = None,
         max_crashes: int | None = None,
+        adversary: str | None = None,
+        max_faults: int | None = None,
         max_vectors: int | None = None,
         all_vectors_limit: int | None = None,
         max_counterexamples: int | None = None,
@@ -291,8 +332,10 @@ class ServeClient:
     ) -> dict[str, Any]:
         """``POST /check``: exhaustive verification on the server.
 
-        Returns ``{"passed": bool, "backend": ..., "report": <report
-        record>, "render": <human summary>}``.
+        ``adversary``/``max_faults`` select the failure-model family and
+        fault budget of a ``backend="net"`` check.  Returns ``{"passed":
+        bool, "backend": ..., "report": <report record>, "render": <human
+        summary>}``.
         """
         payload = self._request_payload(
             spec,
@@ -301,6 +344,8 @@ class ServeClient:
             rounds=rounds,
             depth=depth,
             max_crashes=max_crashes,
+            adversary=adversary,
+            max_faults=max_faults,
             max_vectors=max_vectors,
             all_vectors_limit=all_vectors_limit,
             max_counterexamples=max_counterexamples,

@@ -139,9 +139,16 @@ class _ParsedRequest:
         if self.backend == "async":
             knobs["async_adversary"] = self.adversary
             knobs["crash_steps"] = self.crash_steps
+        elif self.backend == "net":
+            if self.crash_steps is not None:
+                raise InvalidParameterError(
+                    "crash_steps only apply to the asynchronous backend"
+                )
+            knobs["net_adversary"] = self.adversary
         elif self.adversary is not None or self.crash_steps is not None:
             raise InvalidParameterError(
-                "adversary and crash_steps only apply to the asynchronous backend"
+                "adversary and crash_steps only apply to the asynchronous "
+                "and net backends"
             )
         return knobs
 
@@ -336,6 +343,9 @@ class _Handler(BaseHTTPRequestHandler):
                     async_adversary=(
                         request.adversary if request.backend == "async" else None
                     ),
+                    net_adversary=(
+                        request.adversary if request.backend == "net" else None
+                    ),
                     crash_steps=(
                         request.crash_steps if request.backend == "async" else None
                     ),
@@ -366,6 +376,10 @@ class _Handler(BaseHTTPRequestHandler):
                     rounds=payload.get("rounds"),
                     depth=payload.get("depth"),
                     max_crashes=payload.get("max_crashes"),
+                    adversary=(
+                        request.adversary if request.backend == "net" else None
+                    ),
+                    max_faults=payload.get("max_faults"),
                     workers=request.workers,
                     store=state.tenant_store(request.tenant),
                     max_counterexamples=payload.get("max_counterexamples", 25),

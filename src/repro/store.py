@@ -7,7 +7,7 @@ records as **append-only JSON Lines**: one self-describing JSON object per
 line, written and flushed as each result completes, so a killed process
 loses at most the record being written.
 
-Four record kinds are stored:
+Five record kinds are stored:
 
 * ``"run"`` — one :class:`~repro.api.RunResult`, serialized through
   :meth:`~repro.api.RunResult.to_record` (everything round-trips except the
@@ -26,7 +26,13 @@ Four record kinds are stored:
   :class:`~repro.check.AsyncCounterexample` found by the bounded-interleaving
   checker (``Engine.check(backend="async", store=...)``), carrying the
   interleaving prefix and crash points, reloadable with
-  :meth:`ResultStore.load_async_counterexamples` and replayable the same way.
+  :meth:`ResultStore.load_async_counterexamples` and replayable the same way;
+* ``"net-counterexample"`` — the message-passing sibling: one
+  :class:`~repro.check.NetCounterexample` found by the fault-space checker
+  (``Engine.check(backend="net", store=...)``), carrying the exact fault
+  assignment (which channels dropped / delayed / corrupted what), reloadable
+  with :meth:`ResultStore.load_net_counterexamples` and replayable the same
+  way.
 
 The engine integrates the store directly — ``run_batch(..., store=...)`` /
 ``iter_batch(..., store=...)`` append every result as it is produced and
@@ -68,6 +74,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .api.result import RunResult
     from .check.async_checker import AsyncCounterexample
     from .check.checker import Counterexample
+    from .check.net_checker import NetCounterexample
 
 __all__ = [
     "ResultStore",
@@ -75,6 +82,7 @@ __all__ = [
     "CELL_KIND",
     "COUNTEREXAMPLE_KIND",
     "ASYNC_COUNTEREXAMPLE_KIND",
+    "NET_COUNTEREXAMPLE_KIND",
 ]
 
 #: Record kinds written by the store.
@@ -82,6 +90,7 @@ RUN_KIND = "run"
 CELL_KIND = "cell"
 COUNTEREXAMPLE_KIND = "counterexample"
 ASYNC_COUNTEREXAMPLE_KIND = "async-counterexample"
+NET_COUNTEREXAMPLE_KIND = "net-counterexample"
 
 
 def _json_default(value: Any) -> Any:
@@ -257,6 +266,12 @@ class ResultStore:
         record["kind"] = ASYNC_COUNTEREXAMPLE_KIND
         self._write_lines([record])
 
+    def append_net_counterexample(self, counterexample: "NetCounterexample") -> None:
+        """Persist one message-level fault counterexample (flushed immediately)."""
+        record = counterexample.to_record()
+        record["kind"] = NET_COUNTEREXAMPLE_KIND
+        self._write_lines([record])
+
     # -- reading -----------------------------------------------------------
     def iter_records(self, all_tenants: bool = False) -> Iterator[dict[str, Any]]:
         """Yield every record of the file as a dict, in write order.
@@ -372,6 +387,23 @@ class ResultStore:
             except (KeyError, TypeError, ReproError) as error:
                 raise StoreError(
                     f"malformed async counterexample record: {error!r}"
+                ) from error
+        return counterexamples
+
+    def load_net_counterexamples(self) -> list["NetCounterexample"]:
+        """Rebuild every ``"net-counterexample"`` record (replayable violations)."""
+        from .check.net_checker import NetCounterexample
+        from .exceptions import ReproError
+
+        counterexamples: list[NetCounterexample] = []
+        for record in self.iter_records():
+            if record["kind"] != NET_COUNTEREXAMPLE_KIND:
+                continue
+            try:
+                counterexamples.append(NetCounterexample.from_record(record))
+            except (KeyError, TypeError, ReproError) as error:
+                raise StoreError(
+                    f"malformed net counterexample record: {error!r}"
                 ) from error
         return counterexamples
 

@@ -3,12 +3,14 @@
 from .scenarios import (
     AsyncScenario,
     ExhaustiveScenario,
+    NetScenario,
     Scenario,
     async_scenario,
     condition_family_scenario,
     degraded_path_scenario,
     exhaustive_scenario,
     fast_path_scenario,
+    net_scenario,
     outside_condition_scenario,
 )
 from .vectors import (
@@ -25,6 +27,7 @@ from .vectors import (
 __all__ = [
     "AsyncScenario",
     "ExhaustiveScenario",
+    "NetScenario",
     "Scenario",
     "async_scenario",
     "boundary_vector",
@@ -32,6 +35,7 @@ __all__ = [
     "degraded_path_scenario",
     "exhaustive_scenario",
     "fast_path_scenario",
+    "net_scenario",
     "outside_condition_scenario",
     "random_vector",
     "skewed_vector",

@@ -29,11 +29,13 @@ __all__ = [
     "Scenario",
     "AsyncScenario",
     "ExhaustiveScenario",
+    "NetScenario",
     "async_scenario",
     "condition_family_scenario",
     "exhaustive_scenario",
     "fast_path_scenario",
     "degraded_path_scenario",
+    "net_scenario",
     "outside_condition_scenario",
 ]
 
@@ -393,6 +395,132 @@ def async_scenario(
             f"input vector inside the (x={x}, l={ell})-legal condition under "
             f"the {adversary!r} strategy with crash points "
             f"{dict(frozen)}: every live process decides at most {ell} values"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class NetScenario:
+    """A message-passing story: a vector under a net failure model.
+
+    The :class:`AsyncScenario` counterpart for the ``net`` backend: instead
+    of a scheduling strategy it bundles a *failure-model family* (a registry
+    name of :data:`repro.net.NET_ADVERSARIES` — ``"send-omission"``,
+    ``"message-loss"``, ``"bounded-delay"``, ``"byzantine-corrupt"``, ...).
+    The classical claim for the benign regime: FloodMin under at most ``t``
+    omitted/lost messages still k-agrees, because every correct process
+    relays the learned minimum.
+    """
+
+    name: str
+    spec: Any  # AgreementSpec (typed loosely to keep the lazy api import)
+    input_vector: InputVector
+    #: Failure-model registry name (``"send-omission"``, ``"message-loss"``, ...).
+    adversary: str
+    description: str
+
+    def run(self, algorithm: str = "floodmin", *, seed: int = 0):
+        """Execute the scenario once; returns the normalized RunResult."""
+        from ..api import Engine, RunConfig
+
+        engine = Engine(self.spec, algorithm, RunConfig(backend="net", seed=seed))
+        return engine.run(self.input_vector, net_adversary=self.adversary)
+
+    def batch(
+        self,
+        runs: int = 8,
+        algorithm: str = "floodmin",
+        *,
+        workers: int = 1,
+        seed: int = 0,
+        store=None,
+    ):
+        """Run the regime *runs* times through one engine batch.
+
+        Run 0 uses the bundled vector; the others draw fresh in-condition
+        vectors, all under the scenario's failure model (stochastic families
+        re-draw their faults per seed).  Results are identical for any
+        worker count.
+        """
+        if runs < 1:
+            raise InvalidParameterError(f"runs must be >= 1, got {runs}")
+        from ..api import Engine, RunConfig
+
+        oracle = self.spec.condition_oracle()
+        vectors = [self.input_vector] + [
+            vector_in_condition(
+                oracle, self.spec.n, self.spec.domain, Random(seed + index)
+            )
+            for index in range(1, runs)
+        ]
+        engine = Engine(
+            self.spec,
+            algorithm,
+            RunConfig(backend="net", seed=seed, workers=workers),
+        )
+        return engine.run_batch(
+            vectors, net_adversary=self.adversary, store=store
+        )
+
+    def check(
+        self,
+        algorithm: str = "floodmin",
+        *,
+        rounds: int | None = None,
+        max_faults: int | None = None,
+        workers: int = 1,
+        store=None,
+    ):
+        """Model-check the spec over every fault assignment of the family."""
+        from ..api import Engine, RunConfig
+
+        engine = Engine(self.spec, algorithm, RunConfig(workers=workers))
+        return engine.check(
+            backend="net",
+            adversary=self.adversary,
+            rounds=rounds,
+            max_faults=max_faults,
+            vectors=[self.input_vector],
+            store=store,
+        )
+
+
+def net_scenario(
+    n: int,
+    m: int,
+    t: int,
+    k: int,
+    *,
+    adversary: str = "send-omission",
+    seed: int = 0,
+) -> NetScenario:
+    """The message-passing regime: an in-condition vector under a failure model.
+
+    *adversary* names the :data:`repro.net.NET_ADVERSARIES` family the
+    scenario injects; the vector is drawn from inside the spec's (default
+    ``max_l``-legal) condition so the same story also exercises
+    condition-based algorithms on the benign families.
+    """
+    from ..api import AgreementSpec
+    from ..net.adversary import NET_ADVERSARIES
+
+    if adversary not in NET_ADVERSARIES:
+        raise InvalidParameterError(
+            f"unknown net adversary {adversary!r}; known: "
+            f"{', '.join(sorted(NET_ADVERSARIES))}"
+        )
+    spec = AgreementSpec(n=n, t=t, k=k, domain=m)
+    oracle = spec.condition_oracle()
+    vector = vector_in_condition(oracle, n, m, Random(seed))
+    return NetScenario(
+        name=f"net-{adversary}",
+        spec=spec,
+        input_vector=vector,
+        adversary=adversary,
+        description=(
+            f"input vector under the {adversary!r} failure model on the "
+            f"explicit message plane: FloodMin decides at most {k} values "
+            f"whenever the benign fault budget stays within t={t}"
         ),
     )
 

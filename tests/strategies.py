@@ -13,7 +13,13 @@ parameter tuples and crash schedules from the same definitions.
   draws for an ``(n, t)`` system with crash rounds in ``[1, max_round]``:
   round-1 crashes deliver a prefix (the ordered send phase), later crashes
   an arbitrary receiver subset — by construction the same space that
-  :func:`repro.sync.adversary.enumerate_schedules` enumerates exhaustively.
+  :func:`repro.sync.adversary.enumerate_schedules` enumerates exhaustively;
+* :func:`omission_assignments` / :func:`lost_message_sets` — net
+  failure-model draws: static per-victim omission sets (the
+  ``send-omission`` / ``receive-omission`` fault shape) and concrete
+  ``(round, sender, receiver)`` loss sets (the enumerated ``message-loss``
+  shape), both inside the space :func:`repro.net.adversary.enumerate_faults`
+  covers exhaustively.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ __all__ = [
     "vectors",
     "views",
     "crash_schedules",
+    "omission_assignments",
+    "lost_message_sets",
 ]
 
 #: ``(n, m, x, ell)`` tuples for the conditions framework: n in 2..5,
@@ -101,3 +109,58 @@ def crash_schedules(draw, n: int, t: int, max_round: int):
             )
             events.append(CrashEvent(victim, round_number, receivers))
     return CrashSchedule.from_events(events)
+
+
+@st.composite
+def omission_assignments(draw, n: int, t: int):
+    """Up to *t* omission victims, each with a non-empty non-self receiver set.
+
+    The drawn ``{victim: frozenset(receivers)}`` mapping is exactly the
+    constructor shape of :class:`repro.net.adversary.SendOmissionAdversary`
+    and :class:`~repro.net.adversary.ReceiveOmissionAdversary` (for the
+    latter the "receivers" are the senders the victim fails to hear).
+    """
+    victim_count = draw(st.integers(min_value=0, max_value=min(t, n)))
+    victims = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            unique=True,
+            min_size=victim_count,
+            max_size=victim_count,
+        )
+    )
+    assignment = {}
+    for victim in victims:
+        others = [pid for pid in range(n) if pid != victim]
+        receivers = draw(
+            st.frozensets(st.sampled_from(others), min_size=1, max_size=len(others))
+        )
+        assignment[victim] = receivers
+    return assignment
+
+
+@st.composite
+def lost_message_sets(draw, n: int, rounds: int, max_faults: int):
+    """Up to *max_faults* concrete lost channels ``(round, sender, receiver)``.
+
+    The drawn frozenset is the constructor shape of
+    :class:`repro.net.adversary.EnumeratedMessageLoss` — one fully specified
+    point of the enumerated ``message-loss`` fault space.
+    """
+    channels = [
+        (round_number, sender, receiver)
+        for round_number in range(1, rounds + 1)
+        for sender in range(n)
+        for receiver in range(n)
+        if sender != receiver
+    ]
+    loss_count = draw(st.integers(min_value=0, max_value=min(max_faults, len(channels))))
+    lost = draw(
+        st.lists(
+            st.sampled_from(channels),
+            unique=True,
+            min_size=loss_count,
+            max_size=loss_count,
+        )
+    )
+    return frozenset(lost)

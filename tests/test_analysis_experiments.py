@@ -32,13 +32,13 @@ from repro.analysis.experiments import (
 
 
 class TestRegistry:
-    def test_all_fifteen_registered(self):
-        assert len(EXPERIMENTS) == 15
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
+    def test_all_sixteen_registered(self):
+        assert len(EXPERIMENTS) == 16
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
 
     def test_list_experiments(self):
         listing = list_experiments()
-        assert len(listing) == 15
+        assert len(listing) == 16
         assert all(title for _, title in listing)
 
     def test_run_experiment_lookup(self):

@@ -272,9 +272,18 @@ class TestMutantDetection:
         register_mutants()
 
     def test_registration_is_idempotent_and_hidden_by_default(self):
-        from repro.check.mutants import MUTANT_HASTY_ASYNC
+        from repro.check.mutants import (
+            MUTANT_ECHOLESS_FLOODMIN,
+            MUTANT_HASTY_ASYNC,
+            MUTANT_SILENT_FLOODMIN,
+        )
 
-        expected = (MUTANT_HASTY_FLOODMIN, MUTANT_HASTY_ASYNC)
+        expected = (
+            MUTANT_HASTY_FLOODMIN,
+            MUTANT_ECHOLESS_FLOODMIN,
+            MUTANT_SILENT_FLOODMIN,
+            MUTANT_HASTY_ASYNC,
+        )
         assert register_mutants() == expected
         assert register_mutants() == expected
 
