@@ -1,0 +1,65 @@
+"""Lint throughput — the CI gate must stay cheap enough to run fail-fast.
+
+``repro lint --strict`` runs before the test suite in CI, so its cost is
+pure latency on every push.  The design keeps it linear: the tree is parsed
+once into a shared :class:`~repro.lint.index.ModuleIndex` and all rules walk
+the same trees.  This benchmark measures both phases separately (index build
+vs rule execution over a pre-built index) and snapshots files/s so the
+trajectory across PRs — more rules, bigger tree — stays visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import snapshot
+from repro.lint import ModuleIndex, available_rules, default_lint_root, run_lint
+
+TIMING_ROUNDS = 3
+
+
+def _best_of(function, rounds=TIMING_ROUNDS):
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = function()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_lint_throughput(capsys):
+    root = default_lint_root()
+
+    index_seconds, index = _best_of(lambda: ModuleIndex.build(root))
+    rules_seconds, report = _best_of(lambda: run_lint(index=index))
+
+    files = len(index)
+    total_seconds = index_seconds + rules_seconds
+    files_per_s = files / total_seconds
+    with capsys.disabled():
+        print(
+            f"\n[lint] {files} files, {len(report.rules)} rules: "
+            f"index {index_seconds * 1e3:.0f} ms, rules {rules_seconds * 1e3:.0f} ms "
+            f"({files_per_s:,.0f} files/s end to end)"
+        )
+    snapshot.record(
+        "lint",
+        {
+            "files": files,
+            "rules": len(report.rules),
+            "index_ms": round(index_seconds * 1e3, 1),
+            "rules_ms": round(rules_seconds * 1e3, 1),
+            "files_per_s": round(files_per_s, 1),
+        },
+    )
+
+    # The whole tree is parsed and checked: every registered rule ran and the
+    # shipped tree is clean (suppressions documented in-source).
+    assert report.files == files >= 80
+    assert set(report.rules) == set(available_rules())
+    assert report.clean, report.render()
+
+    # Fail-fast budget: the gate must stay an order of magnitude below the
+    # test suite.  Generous ceiling for shared CI runners.
+    assert total_seconds < 30, f"lint took {total_seconds:.1f}s over {files} files"

@@ -48,6 +48,7 @@ from ..core.lattice import ConditionLattice
 from ..core.legality import check_legality, is_legal
 from ..core.recognizing import MaxValues
 from ..core.vectors import InputVector
+from ..exceptions import RegistryError
 from ..sync.adversary import (
     crashes_in_round_one,
     initial_crashes,
@@ -1080,7 +1081,7 @@ def run_experiment(experiment_id: str) -> ExperimentOutput:
     try:
         function = EXPERIMENTS[experiment_id.upper()]
     except KeyError:
-        raise KeyError(
+        raise RegistryError(
             f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENTS)}"
         ) from None
     return function()

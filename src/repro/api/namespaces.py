@@ -1,0 +1,79 @@
+"""The shared adversary-namespace table: one source of truth for disjointness.
+
+The CLI's ``--adversary`` flag is deliberately backend-polymorphic: it names
+an asynchronous scheduling strategy (``"latency-skew"``) *or* a net failure
+model (``"send-omission"``), and the backend decides which namespace was
+meant.  That design only works while the two namespaces stay **disjoint** —
+a name registered in both would be silently ambiguous on every CLI surface,
+every serve request and every stored record that carries adversary names as
+strings.
+
+Historically the disjointness was checked nowhere and merely *relied on* by
+``repro.cli._resolve_adversaries``.  This module is the promoted single
+source of truth: the table below names each namespace and how to list it,
+:func:`adversary_namespace_of` classifies a name, and
+:func:`adversary_namespace_overlaps` computes the collisions — consumed by
+both the CLI's runtime resolution and the ``adversary-namespace`` rule of
+:mod:`repro.lint`, so the invariant is enforced on every commit instead of
+rediscovered at flag-parsing time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..asynchronous.adversary import available_async_adversaries
+from ..net.adversary import available_net_adversaries
+
+__all__ = [
+    "ADVERSARY_NAMESPACES",
+    "ADVERSARY_REGISTRARS",
+    "adversary_namespace_of",
+    "adversary_namespace_overlaps",
+]
+
+#: The namespaces sharing the ``--adversary`` flag: backend -> name lister.
+#: Every pair of namespaces in this table must be pairwise disjoint.
+ADVERSARY_NAMESPACES: dict[str, Callable[[], tuple[str, ...]]] = {
+    "async": available_async_adversaries,
+    "net": available_net_adversaries,
+}
+
+#: The decorators that populate each namespace: registrar name -> namespace.
+#: The ``adversary-namespace`` lint rule scans registration *sites* with this
+#: table, so the static check and the runtime table cannot drift apart.
+ADVERSARY_REGISTRARS: dict[str, str] = {
+    "register_async_adversary": "async",
+    "register_net_adversary": "net",
+}
+
+
+def adversary_namespace_of(name: str) -> str | None:
+    """Which namespace *name* belongs to (``None`` when unknown).
+
+    With the disjointness invariant enforced, membership is unambiguous;
+    were a name ever registered in several namespaces, the first match in
+    table order would win here — which is exactly the silent ambiguity the
+    lint rule exists to prevent.
+    """
+    for backend, lister in ADVERSARY_NAMESPACES.items():
+        if name in lister():
+            return backend
+    return None
+
+
+def adversary_namespace_overlaps() -> dict[str, tuple[str, ...]]:
+    """Names registered in more than one namespace: ``name -> namespaces``.
+
+    An empty mapping is the invariant; anything else is a registration bug
+    (and an ``adversary-namespace`` lint finding).
+    """
+    owners: dict[str, list[str]] = {}
+    for backend, lister in ADVERSARY_NAMESPACES.items():
+        for name in lister():
+            owners.setdefault(name, []).append(backend)
+    return {
+        name: tuple(backends)
+        for name, backends in sorted(owners.items())
+        if len(backends) > 1
+    }

@@ -147,7 +147,8 @@ class RunResult:
         )
 
     # -- serialization -------------------------------------------------------
-    def to_record(self) -> dict[str, Any]:
+    # trace and raw are backend-native object graphs, deliberately dropped.
+    def to_record(self) -> dict[str, Any]:  # repro: lint-ok[record-parity-fields]
         """The JSON-serializable record of the run (used by :mod:`repro.store`).
 
         Everything the normalized record carries round-trips except the two

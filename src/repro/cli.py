@@ -58,6 +58,7 @@ from .api import (
     available_algorithms,
     available_conditions,
 )
+from .api.namespaces import adversary_namespace_of
 from .asynchronous.adversary import available_async_adversaries
 from .core.lattice import ConditionLattice
 from .net.adversary import available_net_adversaries
@@ -434,6 +435,54 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the AST-based invariant linter (repro.lint)"
+    )
+    lint_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="directory to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any live finding (the CI gate)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        action="append",
+        default=None,
+        metavar="RULE-ID",
+        help="run only this rule, repeatable (default: every registered rule)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: lint-baseline.json found above the "
+        "linted root)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current live findings into the baseline file",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules"
+    )
     return parser
 
 
@@ -583,15 +632,19 @@ def _resolve_adversaries(backend: str, adversary: str | None) -> tuple[str, str]
     """
     if adversary is None:
         return "random", "fault-free"
-    net_names = available_net_adversaries()
+    # Classified through the shared namespace table (repro.api.namespaces) —
+    # the same source of truth whose disjointness the adversary-namespace
+    # lint rule enforces, so this split can never be ambiguous.
+    namespace = adversary_namespace_of(adversary)
     if backend == "net":
-        if adversary not in net_names:
+        if namespace != "net":
             raise InvalidParameterError(
                 f"--adversary {adversary!r} is an async scheduling strategy; "
-                f"the net backend takes a failure model: {', '.join(net_names)}"
+                "the net backend takes a failure model: "
+                f"{', '.join(available_net_adversaries())}"
             )
         return "random", adversary
-    if adversary in net_names:
+    if namespace == "net":
         raise InvalidParameterError(
             f"--adversary {adversary!r} is a net failure model; the "
             f"{backend} backend takes: {', '.join(available_async_adversaries())}"
@@ -878,6 +931,50 @@ def _command_serve(arguments) -> int:
     return 0
 
 
+def _command_lint(arguments) -> int:
+    # Deferred import: the linter parses the whole tree; plain `repro demo`
+    # should not pay for it.
+    from pathlib import Path
+
+    from .lint import Baseline, available_rules, default_baseline_path, run_lint
+    from .lint.engine import LINT_RULES
+
+    if arguments.list_rules:
+        available_rules()  # force rule registration
+        for name, rule in LINT_RULES.items():
+            print(f"  {name:<22} [{rule.group}/{rule.severity}] {rule.summary}")
+        return 0
+
+    root = arguments.path
+    baseline_path = (
+        Path(arguments.baseline)
+        if arguments.baseline is not None
+        else default_baseline_path(root)
+    )
+
+    if arguments.write_baseline:
+        report = run_lint(root, rules=arguments.rules)
+        if baseline_path is not None:
+            target = baseline_path
+        elif root is not None:
+            # No baseline above an explicit root: start one next to it.
+            target = Path(root) / "lint-baseline.json"
+        else:
+            target = Path("lint-baseline.json")
+        Baseline.write(target, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {target}")
+        return 0
+
+    baseline = None
+    if baseline_path is not None and not arguments.no_baseline:
+        baseline = Baseline.load(baseline_path)
+    report = run_lint(root, rules=arguments.rules, baseline=baseline)
+    print(report.to_json() if arguments.format == "json" else report.render())
+    if arguments.strict and not report.clean:
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro`` / ``repro-setagreement`` executables."""
     parser = build_parser()
@@ -901,6 +998,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_check(arguments)
         if arguments.command == "serve":
             return _command_serve(arguments)
+        if arguments.command == "lint":
+            return _command_lint(arguments)
     except ReproError as error:
         # Bad parameter combinations (t >= n, k mismatching the algorithm,
         # backend unsupported, ...) are user errors, not crashes.

@@ -1,0 +1,56 @@
+"""repro.lint — the AST-based invariant linter for the :mod:`repro` tree.
+
+The library's correctness story leans on invariants no unit test states
+directly: results are deterministic functions of (spec, seed, input); every
+string-keyed registry is statically auditable; persisted records round-trip;
+worker envelopes survive the pickle boundary; failures speak
+:class:`~repro.exceptions.ReproError`; every check oracle declares its
+applicability.  ``repro lint`` walks the source tree once (one shared
+:class:`ModuleIndex`), runs every registered rule over it, and reports
+:class:`Finding` records — suppressible inline with
+``# repro: lint-ok[rule-id]`` and grandfatherable through a committed
+:class:`Baseline` file.
+
+Programmatic use mirrors the CLI::
+
+    from repro.lint import run_lint
+    report = run_lint()            # lints the installed repro package
+    assert report.clean, report.render()
+
+Rules are registered through the same decorator idiom as algorithms and
+schedules::
+
+    from repro.lint import register_rule
+
+    @register_rule("my-rule", group="determinism", summary="...")
+    def _check(index):            # yields (relpath, line, message)
+        ...
+"""
+
+from .baseline import Baseline, default_baseline_path
+from .engine import (
+    LINT_RULES,
+    LintReport,
+    LintRule,
+    available_rules,
+    register_rule,
+    run_lint,
+)
+from .findings import SEVERITIES, Finding
+from .index import ModuleFile, ModuleIndex, default_lint_root
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LINT_RULES",
+    "LintReport",
+    "LintRule",
+    "ModuleFile",
+    "ModuleIndex",
+    "SEVERITIES",
+    "available_rules",
+    "default_baseline_path",
+    "default_lint_root",
+    "register_rule",
+    "run_lint",
+]

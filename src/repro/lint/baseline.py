@@ -1,0 +1,109 @@
+"""The committed lint baseline: grandfathered findings, tracked as debt.
+
+A linter retrofitted onto a living tree either blocks every commit until the
+tree is perfect or silently ignores what it cannot fix today.  The baseline
+is the third option: a committed JSON file listing the findings the team has
+explicitly decided to carry, keyed line-independently by
+``(rule, path, message)`` so that unrelated edits do not resurrect them.
+``repro lint`` subtracts the baseline from every run; ``repro lint
+--write-baseline`` regenerates the file from the current findings (the
+workflow for adopting a new rule over old debt).  An empty baseline file is
+the healthy steady state — the shipped tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from ..exceptions import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .findings import Finding
+
+__all__ = ["Baseline", "default_baseline_path"]
+
+#: File name of the committed baseline, resolved against the repository root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+def default_baseline_path(root: Path | str | None = None) -> Path | None:
+    """Locate the committed baseline for the tree under *root*.
+
+    Walks from the linted root upward looking for :data:`BASELINE_FILENAME`
+    (a source checkout keeps it at the repository root, two levels above
+    ``src/repro``).  Returns ``None`` when no ancestor carries one — the
+    installed-package case, where lint runs baseline-free.
+    """
+    from .index import default_lint_root
+
+    base = Path(root) if root is not None else default_lint_root()
+    for ancestor in (base, *base.parents):
+        candidate = ancestor / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[tuple[str, str, str]] = ()) -> None:
+        self._fingerprints = frozenset(fingerprints)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a committed baseline file."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise StoreError(f"cannot read baseline {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise StoreError(f"malformed baseline {path}: {error.msg}") from error
+        entries = payload.get("findings") if isinstance(payload, dict) else None
+        if entries is None or not isinstance(entries, list):
+            raise StoreError(
+                f"malformed baseline {path}: expected an object with a "
+                "'findings' list"
+            )
+        fingerprints = []
+        for entry in entries:
+            try:
+                fingerprints.append((entry["rule"], entry["path"], entry["message"]))
+            except (KeyError, TypeError) as error:
+                raise StoreError(
+                    f"malformed baseline entry in {path}: {error!r}"
+                ) from error
+        return cls(fingerprints)
+
+    @classmethod
+    def write(cls, path: Path | str, findings: Iterable["Finding"]) -> "Baseline":
+        """Persist *findings* as the new baseline and return it."""
+        entries = sorted(
+            (
+                {"rule": rule, "path": relpath, "message": message}
+                for rule, relpath, message in {
+                    finding.fingerprint() for finding in findings
+                }
+            ),
+            key=lambda entry: (entry["path"], entry["rule"], entry["message"]),
+        )
+        payload = {"version": 1, "findings": entries}
+        try:
+            Path(path).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError as error:
+            raise StoreError(f"cannot write baseline {path}: {error}") from error
+        return cls(
+            (entry["rule"], entry["path"], entry["message"]) for entry in entries
+        )
+
+    def covers(self, finding: "Finding") -> bool:
+        """Is *finding* grandfathered?"""
+        return finding.fingerprint() in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)

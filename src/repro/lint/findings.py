@@ -1,0 +1,91 @@
+"""The :class:`Finding` record produced by every lint rule.
+
+A finding is one violated invariant at one source location.  Findings are
+plain frozen dataclasses so rules can produce them cheaply, reports can sort
+and render them deterministically, and the baseline file can round-trip them
+through JSON — the same ``to_record`` / ``from_record`` contract every other
+persisted record of the library honours (and that the ``record-parity``
+rules of this very package enforce).
+
+The *fingerprint* of a finding deliberately omits the line number: baselines
+key grandfathered findings by ``(rule, path, message)`` so that unrelated
+edits shifting a file's lines do not resurrect suppressed debt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Legal severity labels, mildest last.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Registry id of the rule that fired (e.g. ``"raise-builtin"``).
+    rule: str
+    #: Rule group (``"determinism"``, ``"registry"``, ...), for report grouping.
+    group: str
+    #: ``"error"`` or ``"warning"``.
+    severity: str
+    #: Path of the offending file, relative to the linted root (posix form).
+    path: str
+    #: 1-based line of the offending construct.
+    line: int
+    #: Human-readable statement of the violated invariant.
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise InvalidParameterError(
+                f"finding severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.line < 1:
+            raise InvalidParameterError(f"finding lines are 1-based, got {self.line}")
+
+    def location(self) -> str:
+        """The clickable ``path:line`` anchor of the finding."""
+        return f"{self.path}:{self.line}"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The line-independent identity used by baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """One report line: ``path:line: severity [rule] message``."""
+        return f"{self.location()}: {self.severity} [{self.rule}] {self.message}"
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-serializable record (used by ``--format json`` and baselines)."""
+        return {
+            "rule": self.rule,
+            "group": self.group,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from a :meth:`to_record` dictionary (inverse map)."""
+        try:
+            return cls(
+                rule=record["rule"],
+                group=record["group"],
+                severity=record["severity"],
+                path=record["path"],
+                line=record["line"],
+                message=record["message"],
+            )
+        except (KeyError, TypeError) as error:
+            raise InvalidParameterError(
+                f"malformed Finding record: {error!r}"
+            ) from error

@@ -1,0 +1,202 @@
+"""Determinism rules: results must be pure functions of spec, seed and input.
+
+Every claim the reproduction makes — byte-identical serial-vs-parallel
+batches, replayable counterexamples, resumable stores keyed by seed
+arithmetic — collapses if any result-producing path consults ambient
+randomness or the wall clock, or lets an unordered ``set`` dictate an
+order-sensitive output.  These rules keep the non-determinism where the
+architecture already confines it: explicit ``random.Random(seed)`` streams
+and the serving layer's monitoring clocks.
+
+``unseeded-random``
+    Calls through the ambient :mod:`random` module (``random.random()``,
+    ``random.choice`` ...), ``os.urandom``, ``uuid.uuid4``, any ``secrets``
+    function, and ``Random()`` constructed without a seed argument.
+``wall-clock``
+    Reads of ``time.time`` / ``time.monotonic`` / ``time.perf_counter`` /
+    ``datetime.now`` and friends outside the exempt serving layer
+    (:data:`WALL_CLOCK_EXEMPT_PREFIXES`) — uptime and latency monitoring are
+    the serving daemon's job, never the engine's.
+``set-iteration``
+    ``for`` statements and list comprehensions iterating directly over a
+    bare ``set``/``frozenset`` expression, and order-sensitive consumers
+    (``list``, ``tuple``, ``enumerate``, ``"".join``) applied to one.  Wrap
+    the set in ``sorted(...)`` instead; order-insensitive folds (``sum``,
+    ``min``, ``max``, ``len``, ``any``, ``all``, set-to-set conversions)
+    are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import register_rule
+from ..index import ModuleFile, ModuleIndex
+
+__all__ = ["WALL_CLOCK_EXEMPT_PREFIXES"]
+
+#: Module prefixes (relative to the linted root) where wall-clock reads are
+#: legitimate: the serving layer measures uptime, latency and retry backoff —
+#: none of which feed result records.
+WALL_CLOCK_EXEMPT_PREFIXES = ("serve/",)
+
+#: ``module.attribute`` call targets that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+#: Ambient-randomness call targets (the module-level :mod:`random` API and
+#: the OS entropy sources).
+_AMBIENT_RANDOM_CALLS = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid4",
+        "uuid.uuid1",
+    }
+)
+
+#: Order-insensitive consumers: applying these to a set is fine.
+_ORDER_FREE_CONSUMERS = frozenset(
+    {"sum", "min", "max", "len", "any", "all", "set", "frozenset", "sorted"}
+)
+
+#: Order-sensitive consumers: applying these to a bare set leaks hash order.
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested attributes, ``a`` for names, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Is *node* a bare set: a literal, a set comprehension, or ``set(...)``?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_rule(
+    "unseeded-random",
+    group="determinism",
+    summary="no ambient RNG (module-level random, os.urandom, seedless Random())",
+)
+def _check_unseeded_random(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted(node.func)
+            if target is None:
+                continue
+            if target.startswith("random.") or target in _AMBIENT_RANDOM_CALLS:
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"call to {target}() draws ambient randomness; thread an "
+                    "explicit seeded random.Random through the caller instead",
+                )
+            elif target.startswith("secrets."):
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"call to {target}() uses the OS entropy pool; results "
+                    "must be deterministic functions of the run seed",
+                )
+            elif target == "Random" and not node.args and not node.keywords:
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    "Random() without a seed argument is seeded from the OS; "
+                    "pass the run seed explicitly",
+                )
+
+
+@register_rule(
+    "wall-clock",
+    group="determinism",
+    summary="no wall-clock reads outside the serving layer",
+)
+def _check_wall_clock(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        if module.relpath.startswith(WALL_CLOCK_EXEMPT_PREFIXES):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted(node.func)
+            if target in _WALL_CLOCK_CALLS:
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"call to {target}() reads the wall clock in a "
+                    "result-producing module; timing belongs to repro.serve "
+                    "or the benchmarks",
+                )
+
+
+def _set_iteration_findings(module: ModuleFile) -> Iterator[tuple[str, int, str]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield (
+                module.relpath,
+                node.iter.lineno,
+                "for-loop iterates a bare set; hash order leaks into the "
+                "loop body — iterate sorted(...) instead",
+            )
+        elif isinstance(node, ast.ListComp):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter):
+                    yield (
+                        module.relpath,
+                        generator.iter.lineno,
+                        "list comprehension iterates a bare set; the produced "
+                        "order is hash order — iterate sorted(...) instead",
+                    )
+        elif isinstance(node, ast.Call):
+            name = node.func.id if isinstance(node.func, ast.Name) else None
+            joined = _dotted(node.func)
+            is_join = joined is not None and joined.endswith(".join")
+            if (
+                (name in _ORDER_SENSITIVE_CONSUMERS or is_join)
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                consumer = name or "str.join"
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"{consumer}() over a bare set materializes hash order; "
+                    "wrap the set in sorted(...) first",
+                )
+
+
+@register_rule(
+    "set-iteration",
+    group="determinism",
+    summary="no order-sensitive iteration over bare set expressions",
+)
+def _check_set_iteration(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        yield from _set_iteration_findings(module)

@@ -1,0 +1,111 @@
+"""Exception-hygiene rule: library failures speak :class:`ReproError`.
+
+The CLI's ``main()`` catches exactly :class:`~repro.exceptions.ReproError`
+(exit code 2, message on stderr); the serve daemon maps the same hierarchy to
+its wire-level error codes.  A ``raise ValueError`` deep in a validation path
+therefore is not a style nit — it is a crash with a traceback on every
+surface that promised a diagnostic.
+
+``raise-builtin``
+    Flags ``raise`` statements whose exception is a builtin
+    (:data:`BUILTIN_EXCEPTIONS`).  Two protocol obligations are exempt:
+    ``NotImplementedError`` (the abstract-method convention used by the
+    oracle base classes) and ``AttributeError`` inside ``__getattr__`` /
+    ``__getattribute__`` (Python's attribute protocol requires it).
+    Genuinely protocol-bound raises elsewhere — ``TypeError`` from a
+    ``json.dumps`` default hook, say — carry a ``# repro: lint-ok``
+    suppression at the raise site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import register_rule
+from ..index import ModuleFile, ModuleIndex
+
+__all__ = ["BUILTIN_EXCEPTIONS"]
+
+#: Builtin exception classes the library must not raise directly; use the
+#: :class:`~repro.exceptions.ReproError` hierarchy instead.
+BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "SystemError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: Dunders whose contract *requires* raising the mapped builtin.
+_PROTOCOL_RAISES = {
+    "__getattr__": frozenset({"AttributeError"}),
+    "__getattribute__": frozenset({"AttributeError"}),
+    "__index__": frozenset({"TypeError"}),
+}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The raised class name: ``raise X`` or ``raise X(...)``; else ``None``."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _module_findings(module: ModuleFile) -> Iterator[tuple[str, int, str]]:
+    # Walk with an explicit stack of enclosing function names so the
+    # protocol exemptions (__getattr__ -> AttributeError) see their scope.
+    def visit(node: ast.AST, functions: tuple[str, ...]):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions = functions + (node.name,)
+        elif isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if (
+                name in BUILTIN_EXCEPTIONS
+                and not any(
+                    name in _PROTOCOL_RAISES.get(func, frozenset())
+                    for func in functions
+                )
+            ):
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"raise {name} bypasses the ReproError hierarchy; the CLI "
+                    "and serve layers only translate repro.exceptions classes "
+                    "into diagnostics",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, functions)
+
+    yield from visit(module.tree, ())
+
+
+@register_rule(
+    "raise-builtin",
+    group="exceptions",
+    summary="raises use the repro.exceptions hierarchy, not bare builtins",
+)
+def _check_raise_builtin(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        yield from _module_findings(module)

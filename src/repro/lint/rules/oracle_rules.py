@@ -1,0 +1,63 @@
+"""Oracle rules: every property oracle declares when it applies.
+
+The exhaustive checkers run their oracles over every execution of a schedule
+space, and the per-oracle tallies (``checked`` vs ``violations``) are only
+meaningful because each oracle first answers *does this execution concern
+me?* through an explicit applicability predicate.  An oracle constructed
+without one either silently checks everything (inflating ``checked`` and
+firing on executions outside its contract — e.g. a benign-model validity
+oracle judging Byzantine runs) or inherits whatever default the author never
+thought about.
+
+``oracle-applicability``
+    Every construction of a ``*PropertyOracle`` must pass the applicability
+    predicate explicitly: at least three positional arguments (the
+    ``(name, summary, applies, check)`` convention of every oracle family)
+    or an ``applies=`` keyword.  Use ``_always`` to *state* that an oracle
+    is universal — that is a declaration, not an omission.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import register_rule
+from ..index import ModuleIndex
+
+__all__ = ["ORACLE_SUFFIX"]
+
+#: Constructors matching this suffix are property-oracle families.
+ORACLE_SUFFIX = "PropertyOracle"
+
+
+def _constructor_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+@register_rule(
+    "oracle-applicability",
+    group="oracles",
+    summary="every *PropertyOracle construction passes an applicability predicate",
+)
+def _check_oracle_applicability(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _constructor_name(node)
+            if name is None or not name.endswith(ORACLE_SUFFIX):
+                continue
+            has_keyword = any(keyword.arg == "applies" for keyword in node.keywords)
+            if len(node.args) < 3 and not has_keyword:
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"{name}(...) is built without an applicability "
+                    "predicate; pass applies= (use _always to declare a "
+                    "universal oracle) so tallies stay meaningful",
+                )

@@ -1,0 +1,151 @@
+"""Parallel-safety rules: worker envelopes stay frozen and picklable.
+
+The process-pool executors ship work to workers as envelope dataclasses —
+``BatchChunk``, ``CellTask``, ``CheckShard`` and friends.  Envelopes cross a
+pickle boundary and are hashed into chunk fingerprints, so two properties
+are load-bearing: they must be **frozen** (a worker mutating its envelope
+would silently diverge from the parent's copy and from the replayed serial
+run), and their fields must be **statically picklable** (a ``list`` field
+pickles, but lets a worker accumulate state that never returns; a callable
+or lock may not pickle at all — and fails only on the platforms that spawn
+rather than fork).
+
+``envelope-frozen``
+    Classes named ``*Chunk`` / ``*Shard`` / ``*Task`` must be decorated
+    ``@dataclass(frozen=True)``.
+``envelope-fields``
+    Their field annotations must avoid the denied atoms
+    (:data:`DENIED_FIELD_ATOMS`): mutable containers (``list``, ``dict``,
+    ``set``, ``bytearray``), ``Callable``, ``Any``, RNG and lock objects.
+    Compound annotations (``tuple[...]``, unions, string forward
+    references) are unfolded and every atom checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import register_rule
+from ..index import ModuleFile, ModuleIndex
+
+__all__ = ["DENIED_FIELD_ATOMS", "ENVELOPE_SUFFIXES"]
+
+#: Class-name suffixes marking a process-pool work envelope.
+ENVELOPE_SUFFIXES = ("Chunk", "Shard", "Task")
+
+#: Annotation atoms an envelope field must not use.
+DENIED_FIELD_ATOMS = frozenset(
+    {
+        "list",
+        "List",
+        "dict",
+        "Dict",
+        "set",
+        "Set",
+        "bytearray",
+        "Callable",
+        "Any",
+        "Random",
+        "Lock",
+        "RLock",
+        "Queue",
+        "Generator",
+        "Iterator",
+    }
+)
+
+
+def _is_envelope(klass: ast.ClassDef) -> bool:
+    return klass.name.endswith(ENVELOPE_SUFFIXES)
+
+
+def _frozen_dataclass(klass: ast.ClassDef) -> bool:
+    for decorator in klass.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _annotation_atoms(annotation: ast.expr) -> Iterator[str]:
+    """The name atoms of an annotation, with string forward refs unfolded."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                continue
+            yield from _annotation_atoms(parsed.body)
+
+
+def _envelope_findings(module: ModuleFile) -> Iterator[tuple[str, int, str]]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ClassDef) and _is_envelope(node)):
+            continue
+        if not _frozen_dataclass(node):
+            yield (
+                "envelope-frozen",
+                node.lineno,
+                f"envelope {node.name} must be @dataclass(frozen=True); a "
+                "worker mutating its envelope diverges from the parent's "
+                "copy and breaks chunk fingerprinting",
+            )
+        for statement in node.body:
+            if not (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+            ):
+                continue
+            denied = sorted(
+                set(_annotation_atoms(statement.annotation)) & DENIED_FIELD_ATOMS
+            )
+            if denied:
+                yield (
+                    "envelope-fields",
+                    statement.lineno,
+                    f"envelope field {node.name}.{statement.target.id} is "
+                    f"annotated with {', '.join(denied)}; envelope fields "
+                    "must be frozen, statically-picklable types (tuples, "
+                    "frozensets, primitives, frozen dataclasses)",
+                )
+
+
+@register_rule(
+    "envelope-frozen",
+    group="parallel-safety",
+    summary="worker envelopes (*Chunk/*Shard/*Task) are frozen dataclasses",
+)
+def _check_envelope_frozen(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for rule_id, line, message in _envelope_findings(module):
+            if rule_id == "envelope-frozen":
+                yield (module.relpath, line, message)
+
+
+@register_rule(
+    "envelope-fields",
+    group="parallel-safety",
+    summary="envelope fields carry only statically-picklable immutable types",
+)
+def _check_envelope_fields(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for rule_id, line, message in _envelope_findings(module):
+            if rule_id == "envelope-fields":
+                yield (module.relpath, line, message)

@@ -1,0 +1,188 @@
+"""Serialization-parity rules: records round-trip exactly their dataclass.
+
+Every record the library persists — run results, counterexamples, lint
+findings — honours one contract: ``to_record()`` returns a JSON-friendly
+dict and ``from_record()`` is its inverse.  The store, the serve wire format
+and the resume logic all assume that contract silently; a field added to the
+dataclass but forgotten in ``to_record`` is data loss that no test notices
+until a resumed sweep diverges.
+
+``record-parity-keys``
+    In every class defining *both* ``to_record`` and ``from_record``, each
+    key of the dict literal ``to_record`` returns must name a real dataclass
+    field — a phantom key is either a typo or an undeclared field.
+``record-parity-fields``
+    Conversely, every dataclass field must appear among the record keys.
+    Deliberate omissions (drill-down fields that cannot survive JSON) are
+    documented with ``# repro: lint-ok[record-parity-fields]`` on the
+    ``def to_record`` line.
+``store-kinds``
+    Every ``*_KIND`` record-kind constant must be consumed by at least one
+    ``append*`` method *and* one ``load*`` method — a kind with a writer but
+    no reader is a write-only archive; a reader without a writer is dead
+    code.
+
+Classes with only a one-way ``to_record`` (summaries, reports) are exempt
+from the parity rules: the presence of ``from_record`` is what promises a
+round-trip.  ``to_record`` bodies that build their dict imperatively rather
+than returning a literal are skipped — the rules only claim what they can
+read statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import register_rule
+from ..index import ModuleFile, ModuleIndex
+
+__all__ = []
+
+
+def _dataclass_fields(klass: ast.ClassDef) -> dict[str, int]:
+    """Annotated class-body fields: ``name -> line`` (the dataclass idiom)."""
+    fields: dict[str, int] = {}
+    for statement in klass.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            name = statement.target.id
+            if not name.startswith("_"):
+                fields[name] = statement.lineno
+    return fields
+
+
+def _method(klass: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for statement in klass.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _returned_dict_keys(method: ast.FunctionDef) -> dict[str, int] | None:
+    """String keys of the dict literal the method returns, or ``None``.
+
+    ``None`` means the body is not statically readable (no ``return {...}``
+    with all-constant keys) and the parity rules should stay silent.
+    """
+    for node in ast.walk(method):
+        if not (isinstance(node, ast.Return) and isinstance(node.value, ast.Dict)):
+            continue
+        keys: dict[str, int] = {}
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys[key.value] = key.lineno
+            else:
+                return None
+        return keys
+    return None
+
+
+def _round_trip_classes(
+    module: ModuleFile,
+) -> Iterator[tuple[ast.ClassDef, dict[str, int], ast.FunctionDef, dict[str, int]]]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        to_record = _method(node, "to_record")
+        if to_record is None or _method(node, "from_record") is None:
+            continue
+        record_keys = _returned_dict_keys(to_record)
+        if record_keys is None:
+            continue
+        yield node, _dataclass_fields(node), to_record, record_keys
+
+
+@register_rule(
+    "record-parity-keys",
+    group="serialization",
+    summary="every to_record key names a real dataclass field",
+)
+def _check_record_parity_keys(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for klass, fields, _, record_keys in _round_trip_classes(module):
+            for key, line in record_keys.items():
+                if key not in fields:
+                    yield (
+                        module.relpath,
+                        line,
+                        f"{klass.name}.to_record() writes key {key!r} but "
+                        f"{klass.name} declares no such field; the record "
+                        "would not round-trip through from_record",
+                    )
+
+
+@register_rule(
+    "record-parity-fields",
+    group="serialization",
+    summary="every dataclass field reaches the to_record dict",
+)
+def _check_record_parity_fields(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for klass, fields, to_record, record_keys in _round_trip_classes(module):
+            for name in fields:
+                if name not in record_keys:
+                    yield (
+                        module.relpath,
+                        to_record.lineno,
+                        f"{klass.name}.{name} never reaches the to_record() "
+                        "dict; reloaded records silently drop it",
+                    )
+
+
+def _kind_constants(module: ModuleFile) -> dict[str, int]:
+    """Module-level ``NAME_KIND = "literal"`` constants: ``name -> line``."""
+    kinds: dict[str, int] = {}
+    for statement in module.tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and len(statement.targets) == 1
+            and isinstance(statement.targets[0], ast.Name)
+            and statement.targets[0].id.endswith("_KIND")
+            and isinstance(statement.value, ast.Constant)
+            and isinstance(statement.value.value, str)
+        ):
+            kinds[statement.targets[0].id] = statement.lineno
+    return kinds
+
+
+def _methods_referencing(module: ModuleFile, constant: str) -> set[str]:
+    """Names of class methods whose body mentions *constant*."""
+    referers: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for statement in node.body:
+            if not isinstance(statement, ast.FunctionDef):
+                continue
+            for inner in ast.walk(statement):
+                if isinstance(inner, ast.Name) and inner.id == constant:
+                    referers.add(statement.name)
+                    break
+    return referers
+
+
+@register_rule(
+    "store-kinds",
+    group="serialization",
+    summary="every *_KIND record kind has an append* writer and a load* reader",
+)
+def _check_store_kinds(index: ModuleIndex) -> Iterator[tuple[str, int, str]]:
+    for module in index:
+        for constant, line in _kind_constants(module).items():
+            referers = _methods_referencing(module, constant)
+            if not any(name.startswith("append") for name in referers):
+                yield (
+                    module.relpath,
+                    line,
+                    f"record kind {constant} has no append* writer method; "
+                    "a kind nothing writes is dead schema",
+                )
+            if not any(name.startswith("load") for name in referers):
+                yield (
+                    module.relpath,
+                    line,
+                    f"record kind {constant} has no load* reader method; "
+                    "records of this kind could never be read back",
+                )

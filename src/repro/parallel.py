@@ -104,7 +104,9 @@ class CellTask:
     config: "RunConfig"
     backend: str | None
     index: int
-    overrides: tuple[tuple[str, Any], ...]
+    # Grid-override values are arbitrary by design; Engine.sweep validates
+    # them against the spec before any worker sees the task.
+    overrides: tuple[tuple[str, Any], ...]  # repro: lint-ok[envelope-fields]
     runs_per_cell: int
     vectors: str
     schedule: CrashSchedule | str | None

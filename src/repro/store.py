@@ -97,7 +97,9 @@ def _json_default(value: Any) -> Any:
     """Serialize the non-JSON containers the records may carry."""
     if isinstance(value, (frozenset, set)):
         return sorted(value)
-    raise TypeError(
+    # The json.dumps default-hook protocol requires TypeError for unhandled
+    # values; StoreError here would break the encoder's own error path.
+    raise TypeError(  # repro: lint-ok[raise-builtin]
         f"value {value!r} of type {type(value).__name__} is not JSON-serializable"
     )
 

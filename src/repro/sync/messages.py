@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..exceptions import InvalidParameterError
+
 __all__ = ["Message"]
 
 
@@ -38,6 +40,8 @@ class Message:
 
     def __post_init__(self) -> None:
         if self.sender < 0 or self.receiver < 0:
-            raise ValueError("process identifiers are non-negative integers")
+            raise InvalidParameterError(
+                "process identifiers are non-negative integers"
+            )
         if self.round_number < 1:
-            raise ValueError("round numbers start at 1")
+            raise InvalidParameterError("round numbers start at 1")

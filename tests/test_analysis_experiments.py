@@ -29,6 +29,7 @@ from repro.analysis.experiments import (
     list_experiments,
     run_experiment,
 )
+from repro.exceptions import RegistryError
 
 
 class TestRegistry:
@@ -44,8 +45,23 @@ class TestRegistry:
     def test_run_experiment_lookup(self):
         output = run_experiment("e3")
         assert isinstance(output, ExperimentOutput)
-        with pytest.raises(KeyError):
+        with pytest.raises(RegistryError):
             run_experiment("E99")
+
+    def test_unknown_experiment_speaks_the_repro_hierarchy(self):
+        """Regression (raise-builtin): run_experiment used to raise bare
+        KeyError, so `repro run bogus` crashed with a traceback instead of
+        the CLI's exit-2 diagnostic."""
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="E99.*known ids"):
+            run_experiment("E99")
+
+    def test_cli_run_unknown_experiment_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
     def test_render_contains_table_and_checks(self):
         output = experiment_counting_theorem3(cases=((4, 3, 2),))

@@ -44,9 +44,11 @@ class TestCommands:
         assert "Theorem 3" in output
         assert "[PASS]" in output
 
-    def test_run_unknown_experiment(self):
-        with pytest.raises(KeyError):
-            main(["run", "E99"])
+    def test_run_unknown_experiment(self, capsys):
+        # Regression (raise-builtin): this used to escape main() as a bare
+        # KeyError traceback; it is now a ReproError -> exit-2 diagnostic.
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
     def test_lattice_ascii(self, capsys):
         assert main(["lattice", "--n", "4"]) == 0

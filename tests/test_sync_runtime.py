@@ -68,10 +68,18 @@ class NeverDecides(SynchronousAlgorithm):
 class TestMessage:
     def test_validation(self):
         Message(0, 1, 1, "payload")
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             Message(-1, 0, 1, None)
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidParameterError):
             Message(0, 0, 0, None)
+
+    def test_validation_speaks_the_repro_hierarchy(self):
+        """Regression (raise-builtin): Message used to raise bare ValueError,
+        which the CLI's ReproError handler cannot translate into exit code 2."""
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            Message(0, -1, 1, None)
 
 
 class TestProcessBase:
