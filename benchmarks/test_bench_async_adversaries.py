@@ -9,8 +9,18 @@ cross-validation.
 
 from __future__ import annotations
 
+import snapshot
 from repro.analysis.experiments import experiment_async_adversaries
 
 
-def test_e15_async_adversaries(run_experiment_benchmark):
-    run_experiment_benchmark(experiment_async_adversaries)
+def test_e15_async_adversaries(run_experiment_benchmark, benchmark):
+    output = run_experiment_benchmark(experiment_async_adversaries)
+    if benchmark.stats is not None:  # None under --benchmark-disable
+        snapshot.record(
+            "async_adversaries",
+            {
+                "experiment": output.experiment_id,
+                "checks": len(output.checks),
+                "seconds": round(benchmark.stats.stats.min, 3),
+            },
+        )

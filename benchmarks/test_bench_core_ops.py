@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from random import Random
 
+import pytest
+
+import snapshot
 from repro.algorithms.condition_kset import ConditionBasedKSetAgreement
 from repro.core.conditions import MaxLegalCondition
 from repro.core.counting import max_condition_size
@@ -28,25 +31,50 @@ VIEW = View(
     [BOTTOM if index < T - D else value for index, value in enumerate(VECTOR.entries)]
 )
 
+#: Per-operation throughput collected as each micro-bench finishes; committed
+#: as one ``BENCH_core_ops.json`` record once all of them have run (a partial
+#: selection — ``-k``, ``-x`` — leaves the committed record untouched).
+_OPS: dict[str, float] = {}
+_EXPECTED_OPS = 6
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _record_core_ops():
+    yield
+    if len(_OPS) == _EXPECTED_OPS:
+        snapshot.record(
+            "core_ops",
+            {name: round(value, 1) for name, value in sorted(_OPS.items())},
+        )
+
+
+def _note(name, benchmark):
+    if benchmark.stats is not None:  # None under --benchmark-disable
+        _OPS[f"{name}_ops_per_s"] = benchmark.stats.stats.ops
+
 
 def test_bench_condition_membership(benchmark):
     result = benchmark(CONDITION.contains, VECTOR)
     assert result is True
+    _note("condition_membership", benchmark)
 
 
 def test_bench_view_compatibility(benchmark):
     result = benchmark(CONDITION.is_compatible, VIEW)
     assert result is True
+    _note("view_compatibility", benchmark)
 
 
 def test_bench_view_decode(benchmark):
     decoded = benchmark(CONDITION.decode, VIEW)
     assert 1 <= len(decoded) <= ELL
+    _note("view_decode", benchmark)
 
 
 def test_bench_counting_formula(benchmark):
     size = benchmark(max_condition_size, 40, 25, 12, 3)
     assert size > 0
+    _note("counting_formula", benchmark)
 
 
 def test_bench_one_synchronous_execution(benchmark):
@@ -59,6 +87,7 @@ def test_bench_one_synchronous_execution(benchmark):
 
     result = benchmark(run_once)
     assert result.all_correct_decided()
+    _note("synchronous_execution", benchmark)
 
 
 def test_bench_input_vector_construction(benchmark):
@@ -71,3 +100,4 @@ def test_bench_input_vector_construction(benchmark):
 
     vector = benchmark(build)
     assert len(vector) == 200
+    _note("input_vector_construction", benchmark)

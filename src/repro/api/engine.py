@@ -202,6 +202,15 @@ class MemoizedCondition(ConditionOracle):
         answer = cache[key] = self._inner.decode(view)
         return answer
 
+    # -- packed batch entry points (repro.vec) -------------------------------
+    # Batch queries answer a whole block in one call, so there is nothing to
+    # memoize per view: forward straight to the wrapped oracle.
+    def contains_batch(self, block) -> int:
+        return self._inner.contains_batch(block)
+
+    def p_batch(self, block, positions) -> int:
+        return self._inner.p_batch(block, positions)
+
     def clear(self) -> None:
         """Drop every cached answer (the statistics are kept)."""
         self._contains_cache.clear()
@@ -753,6 +762,7 @@ class Engine:
         max_counterexamples: int = 25,
         max_vectors: int = 12,
         all_vectors_limit: int = 100,
+        vectorized: bool = True,
     ):
         """Verify the bound algorithm over **every** adversary of its model.
 
@@ -800,11 +810,22 @@ class Engine:
         *workers* (default: the config's ``workers``) shards the adversary
         space across the process pool with a **byte-identical** report, and
         *store* persists the counterexamples as JSONL records.
+
+        *vectorized* (sync-only, default ``True``) routes the execution
+        through the packed batch evaluator of :mod:`repro.vec` whenever the
+        algorithm and oracles are covered by it, transparently falling back
+        to the reference object runtime otherwise; ``vectorized=False``
+        forces the reference path.  Either way the report is byte-identical.
         """
         backend = backend or "sync"
         if backend not in ("sync", "async", "net"):
             raise BackendError(
                 f"unknown backend {backend!r}; expected 'sync', 'async' or 'net'"
+            )
+        if backend != "sync" and not vectorized:
+            raise InvalidParameterError(
+                "vectorized=False forces the synchronous reference path; the "
+                f"{backend} check has no batch evaluator to disable"
             )
         if backend != "net" and (adversary is not None or max_faults is not None):
             raise InvalidParameterError(
@@ -869,6 +890,7 @@ class Engine:
             max_counterexamples=max_counterexamples,
             max_vectors=max_vectors,
             all_vectors_limit=all_vectors_limit,
+            vectorized=vectorized,
         )
 
     # -- parameter sweeps ----------------------------------------------------

@@ -74,7 +74,7 @@ from .checker import (
     differential_check,
     run_check,
 )
-from .frontier import input_frontier
+from .frontier import input_frontier, packed_frontier
 from .mutants import (
     MUTANT_ECHOLESS_FLOODMIN,
     MUTANT_HASTY_ASYNC,
@@ -130,6 +130,7 @@ __all__ = [
     "differential_check",
     "enumerate_async_adversaries",
     "input_frontier",
+    "packed_frontier",
     "register_mutants",
     "run_async_check",
     "run_check",

@@ -241,6 +241,8 @@ def check_slice(
     vectors: Sequence[InputVector],
     oracle_names: Sequence[str],
     max_counterexamples: int,
+    *,
+    vectorized: bool = False,
 ) -> tuple[int, int, list[OracleTally], list[Counterexample]]:
     """Check one contiguous slice ``[start, stop)`` of the schedule stream.
 
@@ -254,9 +256,31 @@ def check_slice(
     the slice that covers the tail must use it so that a generator producing
     *more* schedules than the closed form predicts is detected too (a capped
     slice could only catch under-production).
+
+    With *vectorized* the slice routes through the packed batch evaluator of
+    :mod:`repro.vec` when it covers this engine/frontier/oracle combination
+    (and falls back to the scalar loop below otherwise).  Counterexamples are
+    always decoded back through the reference object runtime, so the returned
+    tuple is identical either way.
     """
     spec = engine.spec
     context = CheckContext.from_engine(engine)
+    if vectorized:
+        from ..vec.evaluator import BatchSyncEvaluator
+
+        evaluator = BatchSyncEvaluator.build(engine, context, vectors, oracle_names)
+        if evaluator is not None:
+            return _check_slice_batch(
+                engine,
+                context,
+                evaluator,
+                rounds,
+                start,
+                stop,
+                vectors,
+                oracle_names,
+                max_counterexamples,
+            )
     oracles = [ORACLES[name] for name in oracle_names]
     tallies = {name: OracleTally(name) for name in oracle_names}
     counterexamples: list[Counterexample] = []
@@ -290,6 +314,86 @@ def check_slice(
                             duration=result.duration,
                         )
                     )
+    return enumerated, executions, [tallies[name] for name in oracle_names], counterexamples
+
+
+def _check_slice_batch(
+    engine: "Engine",
+    context: CheckContext,
+    evaluator,
+    rounds: int,
+    start: int,
+    stop: int | None,
+    vectors: Sequence[InputVector],
+    oracle_names: Sequence[str],
+    max_counterexamples: int,
+) -> tuple[int, int, list[OracleTally], list[Counterexample]]:
+    """The packed twin of the scalar slice loop.
+
+    One :meth:`~repro.vec.evaluator.BatchSyncEvaluator.check_schedule` call
+    covers every frontier vector under one schedule; tallies are bit counts
+    of the returned lane masks.  Violating lanes — and only those — are
+    re-executed through the reference object runtime to produce the exact
+    scalar counterexample records, in the scalar order (schedule, then lane
+    = frontier position, then oracle).  A flagged lane the reference oracle
+    does not confirm is a batch/reference drift and raises
+    :class:`~repro.exceptions.SimulationError` rather than emitting an
+    unverified report.
+    """
+    spec = engine.spec
+    oracles = [ORACLES[name] for name in oracle_names]
+    tallies = {name: OracleTally(name) for name in oracle_names}
+    counterexamples: list[Counterexample] = []
+    enumerated = 0
+    executions = 0
+    stream = islice(enumerate_schedules(spec.n, spec.t, rounds), start, stop)
+    for schedule in stream:
+        enumerated += 1
+        engine._validate_once(schedule)
+        masks = evaluator.check_schedule(schedule)
+        executions += len(vectors)
+        union = 0
+        for name, (applies, violations) in zip(oracle_names, masks):
+            tally = tallies[name]
+            tally.checked += applies.bit_count()
+            tally.violations += violations.bit_count()
+            union |= violations
+        if union and len(counterexamples) < max_counterexamples:
+            remaining = union
+            while remaining and len(counterexamples) < max_counterexamples:
+                low = remaining & -remaining
+                remaining ^= low
+                lane = low.bit_length() - 1
+                vector = vectors[lane]
+                result = engine._execute(vector, schedule, 0, "sync", None)
+                for oracle, (applies, violations) in zip(oracles, masks):
+                    if not violations & low:
+                        continue
+                    detail = (
+                        oracle.check(context, result)
+                        if oracle.applies(context, result)
+                        else None
+                    )
+                    if detail is None:
+                        raise SimulationError(
+                            f"batch evaluator flagged {oracle.name!r} on vector "
+                            f"{list(vector.entries)} under "
+                            f"{list(schedule.canonical())}, but the reference "
+                            "runtime does not reproduce the violation"
+                        )
+                    if len(counterexamples) < max_counterexamples:
+                        counterexamples.append(
+                            Counterexample(
+                                oracle=oracle.name,
+                                algorithm=engine.algorithm_name,
+                                detail=detail,
+                                spec=spec,
+                                vector=vector,
+                                schedule=schedule,
+                                decisions=dict(result.decisions),
+                                duration=result.duration,
+                            )
+                        )
     return enumerated, executions, [tallies[name] for name in oracle_names], counterexamples
 
 
@@ -341,6 +445,7 @@ def run_check(
     max_counterexamples: int = DEFAULT_MAX_COUNTEREXAMPLES,
     max_vectors: int = DEFAULT_MAX_VECTORS,
     all_vectors_limit: int = DEFAULT_ALL_VECTORS_LIMIT,
+    vectorized: bool = True,
 ) -> CheckReport:
     """Verify the engine's algorithm over the complete schedule space.
 
@@ -365,7 +470,8 @@ def run_check(
 
     if worker_count == 1:
         enumerated, executions, tallies, counterexamples = check_slice(
-            engine, rounds, 0, None, frontier, oracle_names, max_counterexamples
+            engine, rounds, 0, None, frontier, oracle_names, max_counterexamples,
+            vectorized=vectorized,
         )
     else:
         if engine._entry is None:
@@ -382,7 +488,7 @@ def run_check(
         counterexamples = []
         for outcome in execute_check(
             engine, rounds, expected, frontier, oracle_names, worker_count,
-            max_counterexamples,
+            max_counterexamples, vectorized=vectorized,
         ):
             enumerated += outcome.enumerated
             executions += outcome.executions

@@ -31,6 +31,7 @@ from random import Random
 
 from ..core.vectors import InputVector
 from ..exceptions import InvalidParameterError, ReproError
+from ..vec.packed import PackedBlock
 from ..workloads.vectors import (
     boundary_vector,
     unanimous_vector,
@@ -38,7 +39,7 @@ from ..workloads.vectors import (
     vector_outside_condition,
 )
 
-__all__ = ["input_frontier"]
+__all__ = ["input_frontier", "packed_frontier"]
 
 #: Enumerate the whole vector space when it has at most this many vectors.
 DEFAULT_ALL_VECTORS_LIMIT = 100
@@ -92,6 +93,30 @@ def input_frontier(
             add(InputVector(rng.randint(1, m) for _ in range(n)))
     add(InputVector((index % m) + 1 for index in range(n)))
     return tuple(frontier[:max_vectors])
+
+
+def packed_frontier(
+    spec,
+    condition=None,
+    *,
+    max_vectors: int = DEFAULT_MAX_VECTORS,
+    all_vectors_limit: int = DEFAULT_ALL_VECTORS_LIMIT,
+) -> tuple[tuple[InputVector, ...], PackedBlock | None]:
+    """The frontier of :func:`input_frontier` plus its packed block form.
+
+    The block packs the same vectors in the same (lane) order, so lane ``j``
+    of any batch answer refers to ``vectors[j]`` — that is the contract the
+    batch checker's decode-back path relies on.  The block is ``None`` when
+    the frontier is not packable over ``{1..spec.domain}`` (a custom domain
+    type, for instance); callers then stay on the scalar path.
+    """
+    vectors = input_frontier(
+        spec,
+        condition,
+        max_vectors=max_vectors,
+        all_vectors_limit=all_vectors_limit,
+    )
+    return vectors, PackedBlock.try_pack(vectors, spec.domain)
 
 
 def _guarded(build):

@@ -386,6 +386,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ALGORITHM",
         help="diff decisions against this second algorithm instead of checking oracles",
     )
+    check_parser.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help=(
+            "force the scalar reference runtime instead of the packed batch "
+            "evaluator (sync only; the report is identical either way)"
+        ),
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the agreement-as-a-service daemon (repro.serve)"
@@ -874,6 +882,7 @@ def _command_check(arguments) -> int:
         max_counterexamples=arguments.max_counterexamples,
         max_vectors=arguments.max_vectors,
         all_vectors_limit=arguments.all_vectors_limit,
+        vectorized=not arguments.no_vectorized,
     )
     print(report.render())
     if store is not None:

@@ -27,8 +27,8 @@ exactly those questions, and two implementations:
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
-from typing import Any
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any
 
 from ..exceptions import (
     DecodingError,
@@ -37,10 +37,69 @@ from ..exceptions import (
     InvalidVectorError,
 )
 from .recognizing import MaxValues, RecognizingFunction, extend_to_view
-from .values import ValueDomain, is_bottom
+from .values import BOTTOM, ValueDomain, is_bottom
 from .vectors import InputVector, View
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..vec.packed import PackedBlock
+
 __all__ = ["ConditionOracle", "ExplicitCondition", "MaxLegalCondition"]
+
+
+def _batch_top_density(
+    block: "PackedBlock",
+    positions: Sequence[int],
+    lanes: int,
+    threshold: int,
+    ell: int,
+    descending: bool = True,
+) -> int:
+    """Lanes of *lanes* whose ``ell`` extremal values occupy > *threshold* entries.
+
+    The packed counterpart of ``occurrences_of_set(greatest_values(ell)) >
+    threshold`` restricted to *positions* (``smallest_values`` when
+    *descending* is false).  Values are streamed in rank order; two saturating
+    class partitions track, per lane, how many rank slots are consumed (capped
+    at ``ell``) and how many entries the selected values occupy (capped at
+    ``threshold + 1``), so the whole block is answered in
+    ``O(m × |positions| × threshold)`` big-int operations.
+    """
+    if not lanes:
+        return 0
+    if threshold < 0:
+        # Occupancy is never negative, so the strict bound holds vacuously.
+        return lanes
+    cap = threshold + 1
+    occupancy = [lanes] + [0] * cap
+    rank = [lanes] + [0] * ell
+    rank_active = lanes
+    values = range(block.m, 0, -1) if descending else range(1, block.m + 1)
+    for value in values:
+        if not rank_active:
+            break
+        columns = [block.cols[position][value - 1] for position in positions]
+        present = 0
+        for column in columns:
+            present |= column
+        selected = present & rank_active
+        if not selected:
+            continue
+        for column in columns:
+            mask = column & selected & ~occupancy[cap]
+            if not mask:
+                continue
+            for count in range(cap - 1, -1, -1):
+                moved = occupancy[count] & mask
+                if moved:
+                    occupancy[count + 1] |= moved
+                    occupancy[count] &= ~moved
+        for count in range(ell - 1, -1, -1):
+            moved = rank[count] & selected
+            if moved:
+                rank[count + 1] |= moved
+                rank[count] &= ~moved
+        rank_active = lanes & ~rank[ell]
+    return occupancy[cap]
 
 
 class ConditionOracle:
@@ -85,6 +144,40 @@ class ConditionOracle:
 
     def __contains__(self, vector: InputVector) -> bool:
         return self.contains(vector)
+
+    # -- packed batch entry points (repro.vec) ------------------------------
+    def contains_batch(self, block: "PackedBlock") -> int:
+        """Lane mask of the vectors of *block* that belong to the condition.
+
+        Generic fallback: one scalar :meth:`contains` call per lane, bit for
+        bit equivalent to the scalar loop (including any validation error the
+        first lane would raise).  Oracles with analytic structure override
+        this with genuinely column-wise evaluation.
+        """
+        mask = 0
+        for lane, entries in enumerate(block.iter_lanes()):
+            if self.contains(InputVector(entries)):
+                mask |= 1 << lane
+        return mask
+
+    def p_batch(self, block: "PackedBlock", positions: Sequence[int]) -> int:
+        """Lane mask where ``P(J)`` holds for each lane restricted to *positions*.
+
+        ``J`` is the lane's vector with every position outside *positions*
+        replaced by ⊥ — the round-1 view of a process that heard exactly the
+        senders in *positions*.  Generic fallback: one scalar
+        :meth:`is_compatible` call per lane.
+        """
+        heard = frozenset(positions)
+        mask = 0
+        for lane, entries in enumerate(block.iter_lanes()):
+            view = View(
+                entries[position] if position in heard else BOTTOM
+                for position in range(block.n)
+            )
+            if self.is_compatible(view):
+                mask |= 1 << lane
+        return mask
 
     # -- condition algebra (implemented in repro.core.algebra) ---------------
     def union(self, other: "ConditionOracle") -> "ConditionOracle":
@@ -257,6 +350,38 @@ class ExplicitCondition(ConditionOracle):
         memo[key] = mask
         return mask
 
+    def _match_any(self, block: "PackedBlock", positions: Sequence[int]) -> int:
+        """Lanes whose restriction to *positions* is contained in some vector.
+
+        One AND-chain of value columns per condition vector, pruned by the
+        lanes already matched; an early exit fires once every lane matched.
+        """
+        matched = 0
+        full = block.full_mask
+        for vector in self._vectors:
+            entries = vector.entries
+            mask = full & ~matched
+            for position in positions:
+                mask &= block.col(position, entries[position])
+                if not mask:
+                    break
+            matched |= mask
+            if matched == full:
+                break
+        return matched
+
+    def contains_batch(self, block: "PackedBlock") -> int:
+        if block.n != self._n:
+            # Mirrors scalar membership: a vector of another size is simply
+            # not in the (frozen) set — no error.
+            return 0
+        return self._match_any(block, range(self._n))
+
+    def p_batch(self, block: "PackedBlock", positions: Sequence[int]) -> int:
+        if block.n != self._n:
+            return super().p_batch(block, positions)
+        return self._match_any(block, tuple(positions))
+
     # -- oracle interface --------------------------------------------------
     def contains(self, vector: InputVector) -> bool:
         return vector in self._vectors
@@ -427,6 +552,37 @@ class MaxLegalCondition(ConditionOracle):
         self._check_vector(vector)
         top = vector.greatest_values(self._ell)
         return vector.occurrences_of_set(top) > self._x
+
+    # -- packed batch entry points -------------------------------------------
+    def _check_block(self, block: "PackedBlock") -> None:
+        """Batch mirror of :meth:`_check_vector` (size and domain validation)."""
+        if block.n != self._n:
+            raise InvalidVectorError(
+                f"expected vectors of size {self._n}, got size {block.n}"
+            )
+        for value in range(self._domain.size + 1, block.m + 1):
+            for position in range(block.n):
+                if block.cols[position][value - 1]:
+                    raise InvalidVectorError(
+                        f"value {value!r} is outside the domain of this condition"
+                    )
+
+    def contains_batch(self, block: "PackedBlock") -> int:
+        self._check_block(block)
+        return _batch_top_density(
+            block, range(self._n), block.full_mask, self._x, self._ell
+        )
+
+    def p_batch(self, block: "PackedBlock", positions: Sequence[int]) -> int:
+        self._check_block(block)
+        positions = tuple(positions)
+        full = block.full_mask
+        if not positions:
+            # All-⊥ views: completable into a constant vector iff n > x.
+            return full if self._n > self._x else 0
+        # occupancy(top) + bottoms > x  ⟺  occupancy(top) > x − bottoms.
+        threshold = self._x - (self._n - len(positions))
+        return _batch_top_density(block, positions, full, threshold, self._ell)
 
     # -- the predicate P ------------------------------------------------------
     def is_compatible(self, view: View) -> bool:

@@ -17,6 +17,13 @@ rather than fork).
     Their field annotations must avoid the denied atoms
     (:data:`DENIED_FIELD_ATOMS`): mutable containers (``list``, ``dict``,
     ``set``, ``bytearray``), ``Callable``, ``Any``, RNG and lock objects.
+    They must also avoid the packed-batch atoms
+    (:data:`DENIED_BATCH_ATOMS`): a :class:`~repro.vec.PackedBlock` or
+    :class:`~repro.vec.BatchSyncEvaluator` must never be shipped across the
+    pool — shards carry the ``vectorized`` flag and rebuild the block and
+    evaluator locally from the spec, which is what keeps sharded reports
+    byte-identical to the serial run and keeps arbitrary-precision lane
+    masks (and the evaluator's memo caches) out of the pickle payload.
     Compound annotations (``tuple[...]``, unions, string forward
     references) are unfolded and every atom checked.
 """
@@ -29,7 +36,7 @@ from typing import Iterator
 from ..engine import register_rule
 from ..index import ModuleFile, ModuleIndex
 
-__all__ = ["DENIED_FIELD_ATOMS", "ENVELOPE_SUFFIXES"]
+__all__ = ["DENIED_BATCH_ATOMS", "DENIED_FIELD_ATOMS", "ENVELOPE_SUFFIXES"]
 
 #: Class-name suffixes marking a process-pool work envelope.
 ENVELOPE_SUFFIXES = ("Chunk", "Shard", "Task")
@@ -54,6 +61,11 @@ DENIED_FIELD_ATOMS = frozenset(
         "Iterator",
     }
 )
+
+#: Packed-batch atoms an envelope field must not ship across the pool.
+#: Both types pickle, but by design each shard rebuilds them locally from
+#: the spec — the envelope carries only the ``vectorized`` flag.
+DENIED_BATCH_ATOMS = frozenset({"PackedBlock", "BatchSyncEvaluator"})
 
 
 def _is_envelope(klass: ast.ClassDef) -> bool:
@@ -113,9 +125,8 @@ def _envelope_findings(module: ModuleFile) -> Iterator[tuple[str, int, str]]:
                 and isinstance(statement.target, ast.Name)
             ):
                 continue
-            denied = sorted(
-                set(_annotation_atoms(statement.annotation)) & DENIED_FIELD_ATOMS
-            )
+            atoms = set(_annotation_atoms(statement.annotation))
+            denied = sorted(atoms & DENIED_FIELD_ATOMS)
             if denied:
                 yield (
                     "envelope-fields",
@@ -124,6 +135,17 @@ def _envelope_findings(module: ModuleFile) -> Iterator[tuple[str, int, str]]:
                     f"annotated with {', '.join(denied)}; envelope fields "
                     "must be frozen, statically-picklable types (tuples, "
                     "frozensets, primitives, frozen dataclasses)",
+                )
+            batch = sorted(atoms & DENIED_BATCH_ATOMS)
+            if batch:
+                yield (
+                    "envelope-fields",
+                    statement.lineno,
+                    f"envelope field {node.name}.{statement.target.id} ships "
+                    f"a packed batch ({', '.join(batch)}) across the pool; "
+                    "shards carry the `vectorized` flag and rebuild the "
+                    "block/evaluator locally, keeping lane masks and memo "
+                    "caches out of the pickle payload",
                 )
 
 

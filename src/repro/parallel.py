@@ -146,6 +146,9 @@ class CheckShard:
     oracle_names: tuple[str, ...]
     max_counterexamples: int
     index: int
+    #: Route the slice through the packed batch evaluator (the worker falls
+    #: back to the scalar loop whenever the evaluator declines the engine).
+    vectorized: bool = False
 
 
 @dataclass
@@ -317,6 +320,7 @@ def _execute_check_shard(shard: CheckShard) -> CheckOutcome:
         shard.vectors,
         shard.oracle_names,
         shard.max_counterexamples,
+        vectorized=shard.vectorized,
     )
     after = _stats_snapshot(engine)
     deltas = {
@@ -506,6 +510,8 @@ def execute_check(
     oracle_names: tuple[str, ...],
     workers: int,
     max_counterexamples: int,
+    *,
+    vectorized: bool = False,
 ) -> Iterator[CheckOutcome]:
     """Shard the exhaustive check's schedule space across a process pool.
 
@@ -536,6 +542,7 @@ def execute_check(
             oracle_names=oracle_names,
             max_counterexamples=max_counterexamples,
             index=index,
+            vectorized=vectorized,
         )
         for index, start in enumerate(starts)
     ]

@@ -1,0 +1,647 @@
+"""Batch evaluator: one call executes a whole (schedule × input-block) batch.
+
+:class:`BatchSyncEvaluator` re-implements the synchronous round runtime of
+:mod:`repro.sync.runtime` over :class:`~repro.vec.packed.PackedBlock` lane
+masks: every per-process variable of the reference algorithms becomes a small
+``{value: lane mask}`` dictionary, and one round of *all* packed input vectors
+under one crash schedule is a handful of big-integer AND/OR operations instead
+of ``lanes × n`` Python method calls.
+
+The evaluator is an *optimisation*, never an authority:
+
+* :mod:`repro.sync.runtime` stays untouched as the reference implementation;
+* :meth:`BatchSyncEvaluator.build` returns ``None`` whenever anything about
+  the engine, algorithm, frontier or oracle set falls outside the modelled
+  fast path — the checker then silently falls back to the scalar loop, which
+  also reproduces any validation error the reference path would raise;
+* every counterexample the checker reports is decoded back into the object
+  runtime (a scalar re-execution of the flagged lane), so replay stays
+  byte-identical, and a flagged lane the reference runtime does *not*
+  reproduce raises :class:`~repro.exceptions.SimulationError` instead of
+  producing an unverified report.
+
+The two modelled algorithms are the paper's Figure 2 condition-based k-set
+agreement and the early-deciding FloodMin variant of Section 8 — exactly the
+two the exhaustive checker drives.  Dispatch is on the *exact* type, so the
+fault-injection mutants (subclasses) always take the reference path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..core.values import BOTTOM
+from ..core.vectors import InputVector, View
+from ..exceptions import ReproError, SimulationError
+from .packed import PackedBlock, count_exceeds, exact_counts, max_value_masks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.engine import Engine
+    from ..check.oracles import CheckContext
+    from ..sync.adversary import CrashSchedule
+
+__all__ = ["BatchSyncEvaluator"]
+
+#: The oracles the evaluator can translate into lane masks.  A request naming
+#: any other oracle falls back to the scalar checker.
+_SUPPORTED_ORACLES = frozenset(
+    {
+        "validity",
+        "agreement",
+        "termination",
+        "round-bound-in-condition",
+        "round-bound-outside",
+        "early-deciding-bound",
+    }
+)
+
+
+def _any_mask(masks: dict[Any, int]) -> int:
+    combined = 0
+    for mask in masks.values():
+        combined |= mask
+    return combined
+
+
+class BatchSyncEvaluator:
+    """Executes one crash schedule against a packed block of input vectors.
+
+    Use :meth:`build` (which may refuse); :meth:`check_schedule` then returns,
+    for each requested oracle, an ``(applies, violations)`` pair of lane masks
+    mirroring exactly what the scalar oracle evaluation would have produced
+    lane by lane.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        context: "CheckContext",
+        oracle_names: Sequence[str],
+        mode: str,
+        block: PackedBlock,
+        in_mask: int | None,
+    ) -> None:
+        self._engine = engine
+        self._context = context
+        self._oracle_names = tuple(oracle_names)
+        self._mode = mode
+        self._block = block
+        self._full = block.full_mask
+        self._n = block.n
+        self._in_mask = in_mask
+        #: ``value -> lanes proposing it somewhere`` (the validity oracle's
+        #: ``set(input_vector.entries)``, batched).
+        proposed: dict[int, int] = {}
+        for position in range(block.n):
+            column = block.cols[position]
+            for value in range(1, block.m + 1):
+                lanes = column[value - 1]
+                if lanes:
+                    proposed[value] = proposed.get(value, 0) | lanes
+        self._proposed = proposed
+
+        algorithm = engine.algorithm
+        self._last = algorithm.last_round()
+        if mode == "condition":
+            self._x = algorithm.x
+            self._cond = engine.condition or algorithm.condition
+            self._cr = algorithm.condition_decision_round()
+            #: frozenset(round-1 positions heard) -> (v_cond, v_tmf, v_out)
+            #: lane-mask classification, shared by every receiver and schedule
+            #: with the same round-1 view shape.
+            self._round1_memo: dict[frozenset[int], tuple[dict, dict, dict]] = {}
+        else:
+            self._k = algorithm.k
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        engine: "Engine",
+        context: "CheckContext",
+        vectors: Sequence[InputVector],
+        oracle_names: Sequence[str],
+    ) -> "BatchSyncEvaluator | None":
+        """The packed evaluator for *engine*, or ``None`` for the scalar path.
+
+        Refuses (returns ``None``) whenever the batch model would not be a
+        faithful mirror of the reference runtime: unknown or subclassed
+        algorithms (mutants), trace recording, a ``t`` mismatch between the
+        algorithm and the spec (the reference path raises on it), an
+        unpackable frontier, or an oracle without a batch translation.  A
+        condition oracle that rejects the block (size or domain validation)
+        also refuses — the scalar path then reproduces the exact error.
+        """
+        # Deferred so that ``repro.vec`` never drags the algorithm layer (and
+        # through it the api layer) into import cycles.
+        from ..algorithms.condition_kset import ConditionBasedKSetAgreement
+        from ..algorithms.early_deciding_kset import EarlyDecidingKSetAgreement
+
+        algorithm = engine.algorithm
+        if type(algorithm) is ConditionBasedKSetAgreement:
+            mode = "condition"
+        elif type(algorithm) is EarlyDecidingKSetAgreement:
+            mode = "early"
+        else:
+            return None
+        if engine.config.record_trace:
+            return None
+        if not set(oracle_names) <= _SUPPORTED_ORACLES:
+            return None
+        spec = engine.spec
+        if algorithm.t != spec.t:
+            return None
+        block = PackedBlock.try_pack(vectors, spec.domain)
+        if block is None or block.n != spec.n:
+            return None
+        if mode == "condition" and engine.condition is None and algorithm.condition is None:
+            return None
+        in_mask: int | None = None
+        if engine.condition is not None:
+            try:
+                in_mask = engine.condition.contains_batch(block)
+            except ReproError:
+                return None
+        return cls(engine, context, oracle_names, mode, block, in_mask)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check_schedule(
+        self, schedule: "CrashSchedule"
+    ) -> list[tuple[int, int]]:
+        """``[(applies, violations), ...]`` lane masks, one per oracle."""
+        if self._mode == "condition":
+            outcome = self._simulate_condition(schedule)
+        else:
+            outcome = self._simulate_early(schedule)
+        return self._oracle_masks(schedule, outcome)
+
+    # ------------------------------------------------------------------
+    # Shared round machinery
+    # ------------------------------------------------------------------
+    def _deliveries(
+        self,
+        events: dict[int, Any],
+        send: list[int],
+        receiver: int,
+        gate: int,
+    ) -> list[int]:
+        """Per-sender lane masks of the messages *receiver* gets, ANDed with *gate*.
+
+        A sender with a crash event this round delivers only to the event's
+        receiver set; in every lane where it still sends, the event applies
+        (an already-crashed sender does not send at all), so the restriction
+        is lane-uniform.
+        """
+        masks = []
+        for sender in range(self._n):
+            mask = send[sender]
+            if mask:
+                event = events.get(sender)
+                if event is not None and receiver not in event.delivered_to:
+                    mask = 0
+                else:
+                    mask &= gate
+            masks.append(mask)
+        return masks
+
+    def _watchdog(self, crashed: list[int], halted: list[int]) -> None:
+        leftover = 0
+        for pid in range(self._n):
+            leftover |= self._full & ~(crashed[pid] | halted[pid])
+        if leftover:
+            raise SimulationError(
+                f"{self._engine.algorithm.name} exceeded its round bound "
+                f"({self._last} rounds) with processes still running in "
+                f"{leftover.bit_count()} packed lane(s)"
+            )
+
+    @staticmethod
+    def _record_decisions(
+        decided_value: dict[Any, int],
+        decided_round: dict[int, int],
+        values: dict[Any, int],
+        round_number: int,
+        lanes: int,
+    ) -> None:
+        for value, mask in values.items():
+            if mask:
+                decided_value[value] = decided_value.get(value, 0) | mask
+        decided_round[round_number] = decided_round.get(round_number, 0) | lanes
+
+    # ------------------------------------------------------------------
+    # Condition-based k-set agreement (Figure 2)
+    # ------------------------------------------------------------------
+    def _simulate_condition(self, schedule: "CrashSchedule"):
+        n, full = self._n, self._full
+        crashed = [0] * n
+        halted = [0] * n
+        # One {value: lanes} dict per state component; absent lanes carry ⊥.
+        vcond: list[dict[Any, int]] = [{} for _ in range(n)]
+        vtmf: list[dict[Any, int]] = [{} for _ in range(n)]
+        vout: list[dict[Any, int]] = [{} for _ in range(n)]
+        decided_value: list[dict[Any, int]] = [{} for _ in range(n)]
+        decided_round: list[dict[int, int]] = [{} for _ in range(n)]
+
+        round_number = 0
+        while round_number < self._last:
+            send = [full & ~(crashed[pid] | halted[pid]) for pid in range(n)]
+            active = 0
+            for mask in send:
+                active |= mask
+            if not active:
+                break
+            round_number += 1
+            events = {
+                event.process_id: event
+                for event in schedule.crashes_in_round(round_number)
+            }
+            for pid in events:
+                crashed[pid] |= active & ~crashed[pid]
+
+            if round_number == 1:
+                # Round 1 is lane-uniform: nobody has crashed or halted yet,
+                # so every receiver's view shape depends only on the schedule.
+                for receiver in range(n):
+                    if receiver in events:
+                        continue
+                    heard = frozenset(
+                        sender
+                        for sender in range(n)
+                        if sender not in events
+                        or receiver in events[sender].delivered_to
+                    )
+                    vc, vt, vo = self._round1_states(heard)
+                    vcond[receiver] = dict(vc)
+                    vtmf[receiver] = dict(vt)
+                    vout[receiver] = dict(vo)
+                continue
+
+            staged = []
+            for receiver in range(n):
+                recv = send[receiver] & ~crashed[receiver]
+                if not recv:
+                    continue
+                # Line 14: a state sent with a non-⊥ v_cond decides it before
+                # reading anything (the state itself stays unchanged).
+                line14 = recv & _any_mask(vcond[receiver])
+                decisions: dict[Any, int] = {}
+                if line14:
+                    for value, mask in vcond[receiver].items():
+                        hit = mask & line14
+                        if hit:
+                            decisions[value] = decisions.get(value, 0) | hit
+                update = recv & ~line14
+                merged = None
+                deadline = 0
+                if update:
+                    deliver = self._deliveries(events, send, receiver, update)
+                    merged = []
+                    for component in (vcond, vtmf, vout):
+                        contrib: dict[Any, int] = {}
+                        for sender in range(n):
+                            mask = deliver[sender]
+                            if not mask:
+                                continue
+                            for value, lanes in component[sender].items():
+                                hit = lanes & mask
+                                if hit:
+                                    contrib[value] = contrib.get(value, 0) | hit
+                        for value, lanes in component[receiver].items():
+                            hit = lanes & update  # a process hears itself
+                            if hit:
+                                contrib[value] = contrib.get(value, 0) | hit
+                        new_component: dict[Any, int] = {}
+                        keep = full & ~update
+                        for value, lanes in component[receiver].items():
+                            kept = lanes & keep
+                            if kept:
+                                new_component[value] = kept
+                        remaining = update
+                        for value in sorted(contrib, reverse=True):
+                            hit = contrib[value] & remaining
+                            if hit:
+                                new_component[value] = (
+                                    new_component.get(value, 0) | hit
+                                )
+                                remaining &= ~hit
+                        merged.append(new_component)
+
+                    new_vcond, new_vtmf, new_vout = merged
+                    if round_number == self._last:
+                        deadline = update
+                    elif round_number == self._cr:
+                        tmf_any = 0
+                        out_any = 0
+                        for value, lanes in new_vtmf.items():
+                            tmf_any |= lanes
+                        for value, lanes in new_vout.items():
+                            out_any |= lanes
+                        deadline = update & tmf_any & ~out_any
+                    if deadline:
+                        remaining = deadline
+                        for new_component in merged:
+                            if not remaining:
+                                break
+                            for value, lanes in new_component.items():
+                                hit = lanes & remaining
+                                if hit:
+                                    decisions[value] = decisions.get(value, 0) | hit
+                                    remaining &= ~hit
+                        if remaining:
+                            # All three components ⊥: the else-branch of
+                            # lines 18–22 decides v_out = ⊥.
+                            decisions[BOTTOM] = decisions.get(BOTTOM, 0) | remaining
+                decided = line14 | deadline
+                if decided:
+                    self._record_decisions(
+                        decided_value[receiver],
+                        decided_round[receiver],
+                        decisions,
+                        round_number,
+                        decided,
+                    )
+                    halted[receiver] |= decided
+                if merged is not None:
+                    staged.append((receiver, merged))
+            for receiver, merged in staged:
+                vcond[receiver], vtmf[receiver], vout[receiver] = merged
+
+        self._watchdog(crashed, halted)
+        return crashed, decided_value, decided_round
+
+    def _round1_states(
+        self, heard: frozenset[int]
+    ) -> tuple[dict[Any, int], dict[Any, int], dict[Any, int]]:
+        cached = self._round1_memo.get(heard)
+        if cached is None:
+            cached = self._round1_memo[heard] = self._classify_round1(heard)
+        return cached
+
+    def _classify_round1(
+        self, heard: frozenset[int]
+    ) -> tuple[dict[Any, int], dict[Any, int], dict[Any, int]]:
+        """Classify every lane's round-1 view with positions *heard* (lines 5–9)."""
+        block, full, n = self._block, self._full, self._n
+        positions = sorted(heard)
+        bottoms = n - len(positions)
+        if bottoms > self._x:
+            # Too many failures to tell: v_tmf <- max(V_i).
+            return {}, max_value_masks(block, positions, full), {}
+        compatible = self._cond.p_batch(block, positions)
+        outside = full & ~compatible
+        v_out = max_value_masks(block, positions, outside) if outside else {}
+        v_cond: dict[Any, int] = {}
+        if compatible:
+            # decode_max depends on the actual restricted values, so lanes are
+            # grouped by their sub-vector over *positions*; one scalar decode
+            # per distinct group covers every lane of the group.
+            groups: dict[tuple[int, ...], int] = {(): compatible}
+            for position in positions:
+                column = block.cols[position]
+                split: dict[tuple[int, ...], int] = {}
+                for prefix, lanes in groups.items():
+                    for value in range(1, block.m + 1):
+                        hit = lanes & column[value - 1]
+                        if hit:
+                            split[prefix + (value,)] = hit
+                groups = split
+            for subvector, lanes in groups.items():
+                entries: list[Any] = [BOTTOM] * n
+                for position, value in zip(positions, subvector):
+                    entries[position] = value
+                decoded = self._cond.decode_max(View(entries))
+                v_cond[decoded] = v_cond.get(decoded, 0) | lanes
+        return v_cond, {}, v_out
+
+    # ------------------------------------------------------------------
+    # Early-deciding FloodMin (Section 8)
+    # ------------------------------------------------------------------
+    def _simulate_early(self, schedule: "CrashSchedule"):
+        n, full = self._n, self._full
+        block, k = self._block, self._k
+        crashed = [0] * n
+        halted = [0] * n
+        estimate: list[dict[int, int]] = []
+        for pid in range(n):
+            column = block.cols[pid]
+            estimate.append(
+                {
+                    value: column[value - 1]
+                    for value in range(1, block.m + 1)
+                    if column[value - 1]
+                }
+            )
+        early = [0] * n
+        previous_heard: list[dict[int, int]] = [{n: full} for _ in range(n)]
+        decided_value: list[dict[Any, int]] = [{} for _ in range(n)]
+        decided_round: list[dict[int, int]] = [{} for _ in range(n)]
+
+        round_number = 0
+        while round_number < self._last:
+            send = [full & ~(crashed[pid] | halted[pid]) for pid in range(n)]
+            active = 0
+            for mask in send:
+                active |= mask
+            if not active:
+                break
+            round_number += 1
+            events = {
+                event.process_id: event
+                for event in schedule.crashes_in_round(round_number)
+            }
+            for pid in events:
+                crashed[pid] |= active & ~crashed[pid]
+
+            staged = []
+            for receiver in range(n):
+                recv = send[receiver] & ~crashed[receiver]
+                if not recv:
+                    continue
+                # A flag raised before this round's send decides the (pre-
+                # reduce) estimate immediately.
+                flagged = recv & early[receiver]
+                decisions: dict[Any, int] = {}
+                if flagged:
+                    for value, lanes in estimate[receiver].items():
+                        hit = lanes & flagged
+                        if hit:
+                            decisions[value] = decisions.get(value, 0) | hit
+                update = recv & ~flagged
+                new_state = None
+                deadline = 0
+                if update:
+                    deliver = self._deliveries(events, send, receiver, update)
+                    inherited = 0
+                    contrib: dict[int, int] = {}
+                    for sender in range(n):
+                        mask = deliver[sender]
+                        if not mask:
+                            continue
+                        inherited |= early[sender] & mask
+                        for value, lanes in estimate[sender].items():
+                            hit = lanes & mask
+                            if hit:
+                                contrib[value] = contrib.get(value, 0) | hit
+                    for value, lanes in estimate[receiver].items():
+                        hit = lanes & update  # min() includes the own estimate
+                        if hit:
+                            contrib[value] = contrib.get(value, 0) | hit
+                    new_estimate: dict[int, int] = {}
+                    keep = full & ~update
+                    for value, lanes in estimate[receiver].items():
+                        kept = lanes & keep
+                        if kept:
+                            new_estimate[value] = kept
+                    remaining = update
+                    for value in sorted(contrib):
+                        hit = contrib[value] & remaining
+                        if hit:
+                            new_estimate[value] = new_estimate.get(value, 0) | hit
+                            remaining &= ~hit
+
+                    # heard = len(messages): how many senders delivered.
+                    heard = exact_counts(deliver, update)
+                    few_new = 0
+                    for prior, prior_lanes in previous_heard[receiver].items():
+                        gated = prior_lanes & update
+                        if not gated:
+                            continue
+                        for count, count_lanes in enumerate(heard):
+                            if prior - count < k:
+                                few_new |= gated & count_lanes
+                    raised = (inherited | few_new) & update
+                    new_early = early[receiver] | raised
+                    new_previous: dict[int, int] = {}
+                    for prior, prior_lanes in previous_heard[receiver].items():
+                        kept = prior_lanes & keep
+                        if kept:
+                            new_previous[prior] = new_previous.get(prior, 0) | kept
+                    for count, count_lanes in enumerate(heard):
+                        if count_lanes:
+                            new_previous[count] = (
+                                new_previous.get(count, 0) | count_lanes
+                            )
+                    if round_number == self._last:
+                        deadline = update
+                        for value, lanes in new_estimate.items():
+                            hit = lanes & deadline
+                            if hit:
+                                decisions[value] = decisions.get(value, 0) | hit
+                    new_state = (new_estimate, new_early, new_previous)
+                decided = flagged | deadline
+                if decided:
+                    self._record_decisions(
+                        decided_value[receiver],
+                        decided_round[receiver],
+                        decisions,
+                        round_number,
+                        decided,
+                    )
+                    halted[receiver] |= decided
+                if new_state is not None:
+                    staged.append((receiver, new_state))
+            for receiver, (new_estimate, new_early, new_previous) in staged:
+                estimate[receiver] = new_estimate
+                early[receiver] = new_early
+                previous_heard[receiver] = new_previous
+
+        self._watchdog(crashed, halted)
+        return crashed, decided_value, decided_round
+
+    # ------------------------------------------------------------------
+    # Oracle masks
+    # ------------------------------------------------------------------
+    def _oracle_masks(
+        self,
+        schedule: "CrashSchedule",
+        outcome: tuple[list[int], list[dict[Any, int]], list[dict[int, int]]],
+    ) -> list[tuple[int, int]]:
+        crashed, decided_value, decided_round = outcome
+        n, full = self._n, self._full
+        context = self._context
+        in_mask = self._in_mask
+        correct = [full & ~crashed[pid] for pid in range(n)]
+
+        late_cache: dict[int, int] = {}
+
+        def late(bound: int) -> int:
+            """Lanes where some correct process decided after *bound*."""
+            cached = late_cache.get(bound)
+            if cached is None:
+                cached = 0
+                for pid in range(n):
+                    lanes = correct[pid]
+                    if not lanes:
+                        continue
+                    for decision_round, mask in decided_round[pid].items():
+                        if decision_round > bound:
+                            cached |= mask & lanes
+                late_cache[bound] = cached
+            return cached
+
+        masks: list[tuple[int, int]] = []
+        for name in self._oracle_names:
+            if name == "validity":
+                violations = 0
+                for pid in range(n):
+                    for value, lanes in decided_value[pid].items():
+                        bad = lanes & ~self._proposed.get(value, 0) & full
+                        violations |= bad
+                masks.append((full, violations))
+            elif name == "agreement":
+                distinct: dict[Any, int] = {}
+                for pid in range(n):
+                    for value, lanes in decided_value[pid].items():
+                        distinct[value] = distinct.get(value, 0) | lanes
+                violations = count_exceeds(
+                    list(distinct.values()), context.degree, full
+                )
+                masks.append((full, violations))
+            elif name == "termination":
+                violations = 0
+                for pid in range(n):
+                    decided_any = _any_mask(decided_value[pid])
+                    violations |= correct[pid] & ~decided_any
+                masks.append((full, violations & full))
+            elif name == "round-bound-in-condition":
+                applies = in_mask if in_mask is not None else 0
+                violations = 0
+                if applies:
+                    bound = context.in_bound
+                    if (
+                        context.theorem10
+                        and schedule.round_one_crash_count() <= context.spec.x
+                    ):
+                        bound = min(bound, 2)
+                    violations = applies & late(bound)
+                masks.append((applies, violations))
+            elif name == "round-bound-outside":
+                applies = full if in_mask is None else full & ~in_mask
+                violations = 0
+                if applies:
+                    bound = context.out_bound
+                    if (
+                        context.theorem10
+                        and in_mask is not None
+                        and schedule.initial_crash_count() > context.spec.x
+                    ):
+                        bound = min(bound, context.in_bound)
+                    violations = applies & late(bound)
+                masks.append((applies, violations))
+            elif name == "early-deciding-bound":
+                if context.early_bound is None:
+                    masks.append((0, 0))
+                else:
+                    failure_classes = exact_counts(crashed, full)
+                    violations = 0
+                    for failures, lanes in enumerate(failure_classes):
+                        if lanes:
+                            violations |= lanes & late(context.early_bound(failures))
+                    masks.append((full, violations))
+            else:  # pragma: no cover - build() refuses unknown oracles
+                raise SimulationError(f"no batch translation for oracle {name!r}")
+        return masks

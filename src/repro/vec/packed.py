@@ -1,0 +1,209 @@
+"""Packed batch representation of input-vector blocks (bitmask columns).
+
+The exhaustive checker evaluates the same input frontier under thousands of
+crash schedules.  Executing each ``(schedule, vector)`` pair as a tree of
+Python objects pays the interpreter cost per *execution*; packing the whole
+frontier into bitmask columns pays it per *schedule block* instead.
+
+A :class:`PackedBlock` stores ``lanes`` input vectors over the value domain
+``{1..m}`` column-wise: ``cols[p][v - 1]`` is an arbitrary-precision integer
+whose bit ``j`` is set iff lane ``j`` (the ``j``-th vector of the block)
+carries value ``v`` at position ``p``.  One Python ``int`` therefore answers
+"which vectors have value v at position p" for every lane at once, and the
+bitwise AND/OR/NOT of CPython's big integers becomes the vector ALU of the
+batch evaluator:
+
+* a *lane mask* is any integer whose set bits select vectors of the block;
+* per-position value columns combine into per-lane maxima, membership masks
+  and exact-count partitions without touching individual vectors;
+* ``int.bit_count()`` turns any lane mask into a tally in one call.
+
+Missing entries (⊥) are represented implicitly: a view restricted to a set
+of positions simply ignores the other columns — every lane has a value at
+every position, so no bottom column is ever stored.
+
+Everything here is stdlib-only and pure; the packing round-trips exactly
+(:meth:`PackedBlock.unpack` rebuilds the original vectors), which is what the
+encode/decode property tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..core.vectors import InputVector
+from ..exceptions import InvalidVectorError
+
+__all__ = [
+    "PackedBlock",
+    "count_exceeds",
+    "exact_counts",
+    "max_value_masks",
+]
+
+
+@dataclass(frozen=True)
+class PackedBlock:
+    """A block of input vectors packed into per-(position, value) lane masks.
+
+    Attributes
+    ----------
+    n:
+        Number of positions (processes) per vector.
+    m:
+        Size of the value domain ``{1..m}``.
+    lanes:
+        Number of vectors in the block (bit width of every lane mask).
+    cols:
+        ``cols[p][v - 1]`` is the lane mask of the vectors carrying value
+        ``v`` at position ``p``.  For every position the value columns
+        partition the full lane mask: each lane has exactly one value there.
+    """
+
+    n: int
+    m: int
+    lanes: int
+    cols: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def pack(cls, vectors: Sequence[InputVector], m: int) -> "PackedBlock":
+        """Pack *vectors* (all of one size, integer entries in ``1..m``).
+
+        Raises :class:`InvalidVectorError` when the block cannot be packed —
+        use :meth:`try_pack` to fall back gracefully instead.
+        """
+        block = cls.try_pack(vectors, m)
+        if block is None:
+            raise InvalidVectorError(
+                f"cannot pack {len(vectors)} vector(s) into a base-{m} block: "
+                "entries must be integers in 1..m over one common size"
+            )
+        return block
+
+    @classmethod
+    def try_pack(cls, vectors: Sequence[InputVector], m: int) -> "PackedBlock | None":
+        """Pack *vectors*, or return ``None`` when the block is not packable
+        (empty, mixed sizes, or entries outside the integer domain ``1..m``)."""
+        vectors = tuple(vectors)
+        if not vectors or m < 1:
+            return None
+        n = len(vectors[0])
+        columns = [[0] * m for _ in range(n)]
+        for lane, vector in enumerate(vectors):
+            if len(vector) != n:
+                return None
+            bit = 1 << lane
+            for position, value in enumerate(vector.entries):
+                # bool is an int subclass but never a domain value.
+                if type(value) is not int or not 1 <= value <= m:
+                    return None
+                columns[position][value - 1] |= bit
+        return cls(
+            n=n,
+            m=m,
+            lanes=len(vectors),
+            cols=tuple(tuple(column) for column in columns),
+        )
+
+    @property
+    def full_mask(self) -> int:
+        """The lane mask selecting every vector of the block."""
+        return (1 << self.lanes) - 1
+
+    def col(self, position: int, value: Any) -> int:
+        """The lane mask of value *value* at *position* (0 for foreign values)."""
+        if type(value) is not int or not 1 <= value <= self.m:
+            return 0
+        return self.cols[position][value - 1]
+
+    def lane(self, lane: int) -> tuple[int, ...]:
+        """The entries of one lane, in position order."""
+        bit = 1 << lane
+        entries = []
+        for position in range(self.n):
+            column = self.cols[position]
+            for value in range(1, self.m + 1):
+                if column[value - 1] & bit:
+                    entries.append(value)
+                    break
+        return tuple(entries)
+
+    def iter_lanes(self) -> Iterator[tuple[int, ...]]:
+        """Yield every lane's entries, in lane order."""
+        for lane in range(self.lanes):
+            yield self.lane(lane)
+
+    def unpack(self) -> tuple[InputVector, ...]:
+        """The exact inverse of :meth:`pack`."""
+        return tuple(InputVector(entries) for entries in self.iter_lanes())
+
+
+def max_value_masks(
+    block: PackedBlock, positions: Sequence[int], lanes: int
+) -> dict[int, int]:
+    """Partition *lanes* by the per-lane maximum over *positions*.
+
+    Returns ``{value: lane mask}`` covering exactly the lanes selected by
+    *lanes* (positions must be non-empty, so every selected lane has a
+    maximum).  Values are assigned greatest-first: a lane lands on ``v`` iff
+    it carries ``v`` somewhere in *positions* and nothing greater.
+    """
+    masks: dict[int, int] = {}
+    remaining = lanes
+    for value in range(block.m, 0, -1):
+        if not remaining:
+            break
+        present = 0
+        for position in positions:
+            present |= block.cols[position][value - 1]
+        hit = present & remaining
+        if hit:
+            masks[value] = hit
+            remaining &= ~hit
+    return masks
+
+
+def exact_counts(masks: Sequence[int], universe: int) -> list[int]:
+    """Partition *universe* by how many of *masks* select each lane.
+
+    Returns ``classes`` of length ``len(masks) + 1`` with ``classes[c]`` the
+    lane mask of the lanes selected by exactly ``c`` of the masks.  This is
+    the packed counterpart of "count per lane": each mask adds one where set,
+    and the partition shifts incrementally — ``O(len(masks)²)`` big-int ops
+    instead of a per-lane loop.
+    """
+    classes = [universe] + [0] * len(masks)
+    for index, mask in enumerate(masks):
+        mask &= universe
+        if not mask:
+            continue
+        for count in range(index, -1, -1):
+            moved = classes[count] & mask
+            if moved:
+                classes[count + 1] |= moved
+                classes[count] &= ~moved
+    return classes
+
+
+def count_exceeds(masks: Sequence[int], threshold: int, universe: int) -> int:
+    """The lanes of *universe* selected by strictly more than *threshold* masks.
+
+    Saturating variant of :func:`exact_counts`: the partition is capped at
+    ``threshold + 1``, so the cost is ``O(len(masks) × threshold)`` big-int
+    ops however many masks there are.
+    """
+    if threshold < 0:
+        return universe
+    cap = threshold + 1
+    classes = [universe] + [0] * cap
+    for mask in masks:
+        mask &= universe & ~classes[cap]
+        if not mask:
+            continue
+        for count in range(cap - 1, -1, -1):
+            moved = classes[count] & mask
+            if moved:
+                classes[count + 1] |= moved
+                classes[count] &= ~moved
+    return classes[cap]

@@ -9,6 +9,8 @@ parameter tuples and crash schedules from the same definitions.
   checks respectively;
 * :func:`vectors` / :func:`views` — input vectors and partial views over
   ``{1..m}``;
+* :func:`vector_batches` — non-empty same-size vector tuples, the exact
+  shape :meth:`repro.vec.PackedBlock.pack` accepts (one lane per vector);
 * :func:`crash_schedules` — valid :class:`~repro.sync.adversary.CrashSchedule`
   draws for an ``(n, t)`` system with crash rounds in ``[1, max_round]``:
   round-1 crashes deliver a prefix (the ordered send phase), later crashes
@@ -33,6 +35,7 @@ from repro.sync.adversary import CrashEvent, CrashSchedule
 __all__ = [
     "small_params",
     "legality_params",
+    "vector_batches",
     "vectors",
     "views",
     "crash_schedules",
@@ -74,6 +77,15 @@ def vectors(n: int, m: int):
     return st.lists(
         st.integers(min_value=1, max_value=m), min_size=n, max_size=n
     ).map(InputVector)
+
+
+def vector_batches(n: int, m: int, max_lanes: int = 8):
+    """A strategy of non-empty tuples of size-*n* vectors over ``{1..m}``.
+
+    Each draw is one packable batch: lane ``j`` of the resulting
+    :class:`repro.vec.PackedBlock` holds the ``j``-th vector.
+    """
+    return st.lists(vectors(n, m), min_size=1, max_size=max_lanes).map(tuple)
 
 
 def views(n: int, m: int, max_bottoms: int | None = None):

@@ -562,6 +562,41 @@ class TestEnvelopeFields:
         )
         assert report.clean
 
+    def test_fires_on_packed_batch_envelope_field(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            from repro.vec import PackedBlock
+
+            @dataclass(frozen=True)
+            class CheckShard:
+                start: int
+                block: "PackedBlock | None"
+            """,
+            "envelope-fields",
+        )
+        findings = fired(report, "envelope-fields")
+        assert len(findings) == 1
+        assert "PackedBlock" in findings[0].message
+        assert "vectorized" in findings[0].message
+
+    def test_clean_on_vectorized_flag_envelope(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class CheckShard:
+                start: int
+                vectorized: bool
+            """,
+            "envelope-fields",
+        )
+        assert report.clean
+
 
 # ----------------------------------------------------------------------
 # exceptions

@@ -1,0 +1,285 @@
+"""The packed batch execution core — parity with the scalar reference path.
+
+Three layers of evidence that ``vectorized=True`` changes the cost of the
+exhaustive check and nothing else:
+
+* **representation** — packing a batch of vectors into a
+  :class:`repro.vec.PackedBlock` and unpacking it is the identity, for any
+  drawn batch (Hypothesis);
+* **condition algebra** — ``contains_batch`` / ``p_batch`` answer bit for bit
+  what the scalar ``contains`` / ``is_compatible`` loops answer, for all six
+  registered condition families (Hypothesis);
+* **checker** — on the complete ``n=4, t=2`` space the batch evaluator and
+  the reference object runtime produce byte-identical
+  :class:`~repro.check.CheckReport` records, serial and sharded, for both
+  supported algorithms — including when violations exist (bounds tightened
+  by monkeypatching so the correct algorithms actually fail), where the
+  counterexample order and truncation must match exactly.
+
+The guard tests pin the refusal surface: anything the batch model cannot
+mirror faithfully (mutant subclasses, trace recording, foreign oracles)
+falls back to the scalar path, and ``vectorized=False`` is rejected on
+backends that have no batch evaluator to disable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from strategies import vector_batches, vectors
+
+from repro.algorithms.early_deciding_kset import EarlyDecidingKSetAgreement
+from repro.api import AgreementSpec, Engine, RunConfig
+from repro.check import MUTANT_HASTY_FLOODMIN, register_mutants
+from repro.check.frontier import input_frontier, packed_frontier
+from repro.check.oracles import CheckContext, default_oracle_names
+from repro.core.conditions import ExplicitCondition, MaxLegalCondition
+from repro.core.families import (
+    AllVectorsOracle,
+    FrequencyGapCondition,
+    HammingBallCondition,
+    MinLegalCondition,
+)
+from repro.core.values import BOTTOM
+from repro.core.vectors import InputVector, View
+from repro.exceptions import InvalidParameterError
+from repro.vec import BatchSyncEvaluator, PackedBlock
+
+#: The complete two-fault cell: 2,731 schedules × 16 vectors (domain 2 is
+#: under the all-vectors limit, so the input dimension is exhaustive too).
+N4T2 = AgreementSpec(n=4, t=2, k=2, d=1, ell=1, domain=2)
+
+
+def small_spec(**overrides) -> AgreementSpec:
+    parameters = dict(n=3, t=1, k=1, d=1, ell=1, domain=2)
+    parameters.update(overrides)
+    return AgreementSpec(**parameters)
+
+
+# ----------------------------------------------------------------------
+# Representation: pack/unpack is the identity
+# ----------------------------------------------------------------------
+_batches = st.tuples(st.integers(2, 4), st.integers(2, 3)).flatmap(
+    lambda nm: st.tuples(st.just(nm[0]), st.just(nm[1]), vector_batches(nm[0], nm[1]))
+)
+
+
+@given(_batches)
+def test_pack_unpack_round_trip(case):
+    n, m, batch = case
+    block = PackedBlock.pack(batch, m)
+    assert (block.n, block.m, block.lanes) == (n, m, len(batch))
+    assert block.unpack() == batch
+    # The value columns partition the full mask at every position.
+    for position in range(n):
+        combined = 0
+        for column in block.cols[position]:
+            assert combined & column == 0
+            combined |= column
+        assert combined == block.full_mask
+
+
+@given(_batches)
+def test_lane_masks_match_per_lane_reads(case):
+    _, m, batch = case
+    block = PackedBlock.pack(batch, m)
+    for lane, vector in enumerate(batch):
+        assert block.lane(lane) == vector.entries
+        for position, value in enumerate(vector.entries):
+            assert block.col(position, value) & (1 << lane)
+    # Foreign values never select a lane.
+    assert block.col(0, 0) == 0
+    assert block.col(0, m + 1) == 0
+    assert block.col(0, True) == 0
+
+
+# ----------------------------------------------------------------------
+# Condition algebra: batch answers == scalar loops, all six families
+# ----------------------------------------------------------------------
+def _scalar_contains_mask(condition, block):
+    mask = 0
+    for lane, entries in enumerate(block.iter_lanes()):
+        if condition.contains(InputVector(entries)):
+            mask |= 1 << lane
+    return mask
+
+
+def _scalar_p_mask(condition, block, positions):
+    heard = frozenset(positions)
+    mask = 0
+    for lane, entries in enumerate(block.iter_lanes()):
+        view = View(
+            entries[position] if position in heard else BOTTOM
+            for position in range(block.n)
+        )
+        if condition.is_compatible(view):
+            mask |= 1 << lane
+    return mask
+
+
+@st.composite
+def _family_cases(draw):
+    n = draw(st.integers(2, 4))
+    m = draw(st.integers(2, 3))
+    batch = draw(vector_batches(n, m))
+    positions = tuple(sorted(draw(st.frozensets(st.integers(0, n - 1)))))
+    x = draw(st.integers(0, n - 1))
+    ell = draw(st.integers(1, 2))
+    conditions = [
+        MaxLegalCondition(n, m, x, ell),
+        MinLegalCondition(n, m, x, ell),
+        AllVectorsOracle(n, m, ell),
+        FrequencyGapCondition(n, m, draw(st.integers(0, n - 1))),
+        HammingBallCondition(
+            n, m, draw(vectors(n, m)), draw(st.integers(0, n - 1)), ell
+        ),
+        ExplicitCondition(draw(st.lists(vectors(n, m), min_size=1, max_size=4))),
+    ]
+    return m, batch, positions, conditions
+
+
+@given(_family_cases())
+@settings(max_examples=60)
+def test_batch_membership_matches_scalar_for_all_families(case):
+    m, batch, positions, conditions = case
+    block = PackedBlock.pack(batch, m)
+    for condition in conditions:
+        assert condition.contains_batch(block) == _scalar_contains_mask(
+            condition, block
+        ), condition.name
+        assert condition.p_batch(block, positions) == _scalar_p_mask(
+            condition, block, positions
+        ), condition.name
+
+
+def test_explicit_condition_rejects_foreign_block_sizes():
+    condition = ExplicitCondition([InputVector([1, 2]), InputVector([2, 2])])
+    block = PackedBlock.pack([InputVector([1, 2, 2])], 2)
+    assert condition.contains_batch(block) == 0
+    # The generic ⊥-view fallback answers the P(J) question instead.
+    assert condition.p_batch(block, (0,)) == _scalar_p_mask(condition, block, (0,))
+
+
+# ----------------------------------------------------------------------
+# Checker: byte-identical reports on the complete n=4, t=2 space
+# ----------------------------------------------------------------------
+_RECORDS: dict[tuple, str] = {}
+
+
+def _record(algorithm, *, workers=1, vectorized=True, **check_kwargs):
+    key = (algorithm, workers, vectorized, tuple(sorted(check_kwargs.items())))
+    if key not in _RECORDS:
+        engine = Engine(N4T2, algorithm, RunConfig(workers=workers))
+        report = engine.check(vectorized=vectorized, **check_kwargs)
+        _RECORDS[key] = json.dumps(report.to_record(), sort_keys=True)
+    return _RECORDS[key]
+
+
+class TestFullSpaceParity:
+    @pytest.mark.parametrize("algorithm", ["condition-kset", "early-deciding"])
+    def test_serial_batch_matches_reference(self, algorithm):
+        vectorized = _record(algorithm, vectorized=True)
+        assert vectorized == _record(algorithm, vectorized=False)
+        report = json.loads(vectorized)
+        assert report["schedule_count"] == 2731
+        assert report["executions"] == 2731 * 16
+        assert all(tally["violations"] == 0 for tally in report["tallies"])
+
+    @pytest.mark.parametrize("algorithm", ["condition-kset", "early-deciding"])
+    def test_sharded_batch_matches_reference(self, algorithm):
+        assert _record(algorithm, workers=4, vectorized=True) == _record(
+            algorithm, vectorized=False
+        )
+
+
+class TestViolationParity:
+    """Tightened bounds make the correct algorithms fail, so the decode-back
+    path (counterexample order, truncation, detail text) is exercised for
+    real instead of only on the all-pass space."""
+
+    def test_condition_kset_counterexamples_decode_identically(self, monkeypatch):
+        monkeypatch.setattr(AgreementSpec, "in_condition_bound", lambda self: 1)
+        kwargs = dict(rounds=2, max_counterexamples=3)
+        vectorized = Engine(N4T2, "condition-kset").check(vectorized=True, **kwargs)
+        reference = Engine(N4T2, "condition-kset").check(vectorized=False, **kwargs)
+        assert vectorized.to_record() == reference.to_record()
+        assert not vectorized.passed
+        assert len(vectorized.counterexamples) == 3
+
+    def test_early_deciding_truncation_matches(self, monkeypatch):
+        original = EarlyDecidingKSetAgreement.early_bound
+        monkeypatch.setattr(
+            EarlyDecidingKSetAgreement,
+            "early_bound",
+            lambda self, failures: max(1, original(self, failures) - 1),
+        )
+        kwargs = dict(max_counterexamples=0)
+        vectorized = Engine(N4T2, "early-deciding").check(vectorized=True, **kwargs)
+        reference = Engine(N4T2, "early-deciding").check(vectorized=False, **kwargs)
+        assert vectorized.to_record() == reference.to_record()
+        assert not vectorized.passed
+        assert not vectorized.counterexamples
+        assert vectorized.violation_count > 0
+
+
+# ----------------------------------------------------------------------
+# Guards: the refusal surface of the batch evaluator
+# ----------------------------------------------------------------------
+def _build(engine, vectors_override=None, oracles_override=None):
+    context = CheckContext.from_engine(engine)
+    frontier = (
+        vectors_override
+        if vectors_override is not None
+        else input_frontier(engine.spec, engine.condition)
+    )
+    names = oracles_override if oracles_override is not None else default_oracle_names()
+    return BatchSyncEvaluator.build(engine, context, frontier, names)
+
+
+class TestBatchGuards:
+    def test_registry_algorithms_build(self):
+        assert _build(Engine(N4T2, "condition-kset")) is not None
+        assert _build(Engine(N4T2, "early-deciding")) is not None
+
+    def test_mutant_subclass_falls_back_to_scalar(self):
+        register_mutants()
+        assert _build(Engine(small_spec(), MUTANT_HASTY_FLOODMIN)) is None
+
+    def test_trace_recording_falls_back_to_scalar(self):
+        engine = Engine(small_spec(), "condition-kset", RunConfig(record_trace=True))
+        assert _build(engine) is None
+
+    def test_foreign_oracle_falls_back_to_scalar(self):
+        engine = Engine(small_spec(), "condition-kset")
+        assert _build(engine, oracles_override=("validity", "round-count")) is None
+
+    def test_unpackable_frontier_falls_back_to_scalar(self):
+        engine = Engine(small_spec(), "condition-kset")
+        assert _build(engine, vectors_override=()) is None
+
+    def test_packed_frontier_lane_order_matches_vectors(self):
+        spec = N4T2
+        frontier, block = packed_frontier(spec, Engine(spec, "condition-kset").condition)
+        assert block is not None
+        assert block.unpack() == frontier
+
+    def test_no_vectorized_rejected_off_the_sync_backend(self):
+        engine = Engine(small_spec(), "condition-kset")
+        with pytest.raises(InvalidParameterError):
+            engine.check(backend="async", vectorized=False)
+
+
+class TestCliFlag:
+    def test_no_vectorized_renders_the_identical_report(self, capsys):
+        from repro.cli import main
+
+        arguments = ["check", "--n", "3", "--t", "1", "--d", "1", "--k", "1", "--m", "2"]
+        assert main(arguments) == 0
+        vectorized_output = capsys.readouterr().out
+        assert main(arguments + ["--no-vectorized"]) == 0
+        assert capsys.readouterr().out == vectorized_output
+        assert "verdict          : PASS" in vectorized_output
